@@ -1,0 +1,81 @@
+// Delay scheduling vs Opass (related-work comparison).
+//
+// The paper's related work: "Delay scheduling allows tasks to wait for a
+// small amount of time for achieving locality computation ... These methods
+// mainly focus on managing or scheduling the distributed cluster resources
+// and our method is orthogonal to them." Here the two meet head-on in the
+// dynamic master–worker setting: delay scheduling buys locality with idle
+// waiting at dispatch time; Opass buys it by matching ahead of time and
+// never waits. Sweep the delay budget D and compare.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+}  // namespace
+
+int main() {
+  const std::uint32_t nodes = 64;
+  const std::uint32_t chunks = 640;
+
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(1618);
+  const auto tasks = workload::make_single_data_workload(nn, chunks, policy, rng);
+  std::vector<dfs::NodeId> placement;
+  for (dfs::NodeId n = 0; n < nodes; ++n) placement.push_back(n);
+
+  std::printf("Delay scheduling vs Opass: %u nodes, %u chunks, dynamic dispatch\n\n", nodes,
+              chunks);
+
+  Table t({"scheduler", "local %", "avg I/O (s)", "makespan (s)"});
+
+  {
+    // Locality-blind FIFO (the paper's default dynamic baseline).
+    Rng q(5);
+    runtime::MasterWorkerSource src(chunks, q);
+    sim::Cluster cluster(nodes);
+    Rng exec_rng(9);
+    const auto r = runtime::execute(cluster, nn, tasks, src, exec_rng);
+    t.add_row({"fifo (blind)", Table::num(100 * r.trace.local_fraction(), 1),
+               Table::num(summarize(r.trace.io_times()).mean, 2),
+               Table::num(r.makespan, 1)});
+  }
+  for (const Seconds delay : {0.0, 0.5, 1.0, 3.0, 10.0}) {
+    Rng q(5);
+    runtime::DelaySchedulingSource src(nn, tasks, placement, q, delay);
+    sim::Cluster cluster(nodes);
+    Rng exec_rng(9);
+    const auto r = runtime::execute(cluster, nn, tasks, src, exec_rng);
+    char name[64];
+    std::snprintf(name, sizeof name, "delay D=%.1fs", delay);
+    t.add_row({name, Table::num(100 * r.trace.local_fraction(), 1),
+               Table::num(summarize(r.trace.io_times()).mean, 2),
+               Table::num(r.makespan, 1)});
+  }
+  {
+    Rng arng(5);
+    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
+    core::OpassDynamicSource src(plan.assignment, nn, tasks, placement);
+    sim::Cluster cluster(nodes);
+    Rng exec_rng(9);
+    const auto r = runtime::execute(cluster, nn, tasks, src, exec_rng);
+    t.add_row({"opass dynamic", Table::num(100 * r.trace.local_fraction(), 1),
+               Table::num(summarize(r.trace.io_times()).mean, 2),
+               Table::num(r.makespan, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nLocal-first scanning (delay D=0) already recovers most locality in the\n"
+              "dynamic setting; the delay budget closes the remaining gap by waiting.\n"
+              "Opass reaches full locality with zero dispatch-time waiting and a better\n"
+              "makespan, because its matching also balances the per-process quotas.\n");
+  return 0;
+}

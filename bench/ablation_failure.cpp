@@ -1,0 +1,83 @@
+// Failure injection end to end: a storage node crashes mid-job.
+//
+// The runtime reacts twice: readers retry aborted reads on surviving
+// replicas immediately (client-side failover), and the heartbeat monitor
+// declares the node dead after the miss window, re-replicating its blocks
+// (metadata-side recovery). The job completes either way; the question is
+// what the crash costs — and whether Opass's locality advantage survives
+// losing a node.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "sim/heartbeat.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+struct Outcome {
+  Seconds makespan;
+  double avg_io;
+  std::uint32_t retries;
+  bool detected;
+  Seconds detection;
+};
+
+Outcome run_once(bool use_opass, bool inject_failure) {
+  const std::uint32_t nodes = 64;
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(777);
+  const auto tasks = workload::make_single_data_workload(nn, 640, policy, rng);
+  const auto placement = core::one_process_per_node(nn);
+
+  runtime::Assignment assignment;
+  if (use_opass) {
+    Rng arng(3);
+    assignment = core::assign_single_data(nn, tasks, placement, arng).assignment;
+  } else {
+    assignment = runtime::rank_interval_assignment(640, nodes);
+  }
+
+  sim::Cluster cluster(nodes);
+  Rng hb_rng(5);
+  sim::HeartbeatMonitor monitor(cluster, nn, /*namenode_host=*/0, hb_rng);
+  monitor.start(/*horizon=*/120.0);
+  const dfs::NodeId victim = 17;
+  if (inject_failure) cluster.fail_node(victim, 3.0);
+
+  runtime::StaticAssignmentSource source(assignment);
+  Rng exec_rng(9);
+  const auto r = runtime::execute(cluster, nn, tasks, source, exec_rng);
+  return {r.makespan, summarize(r.trace.io_times()).mean, r.read_failures,
+          monitor.declared_dead(victim), monitor.detection_time(victim)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Node failure at t=3s during a 64-node, 640-chunk job (r=3, heartbeat\n"
+              "interval 3 s, 3 misses to declare)\n\n");
+  Table t({"assignment", "failure", "avg I/O (s)", "makespan (s)", "read retries",
+           "detected at (s)"});
+  for (const bool use_opass : {false, true}) {
+    for (const bool failure : {false, true}) {
+      const auto o = run_once(use_opass, failure);
+      t.add_row({use_opass ? "opass" : "baseline", failure ? "node-17 crash" : "none",
+                 Table::num(o.avg_io, 2), Table::num(o.makespan, 1),
+                 Table::integer(o.retries),
+                 o.detected ? Table::num(o.detection, 1) : "-"});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nEvery task completes despite the crash: aborted reads fail over to the\n"
+              "surviving replicas, and the heartbeat monitor re-replicates the victim's\n"
+              "blocks (~12 s after the crash). Opass loses the victim's local work but\n"
+              "keeps its advantage — only the ~1/64th of tasks pinned there go remote.\n");
+  return 0;
+}

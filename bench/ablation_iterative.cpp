@@ -1,0 +1,49 @@
+// Iterative data analysis (the paper's Introduction motivation).
+//
+// "large amounts of data movement over the shared network could incur an
+// extra overhead during parallel execution, especially during iterative data
+// analysis, which involves moving data from storage to processes
+// repeatedly." Every epoch of a locality-blind job pays the remote,
+// imbalanced pattern again; Opass computes the matching once (milliseconds)
+// and every subsequent epoch reads locally.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+int main() {
+  using namespace opass;
+
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 64;
+  cfg.seed = 271828;
+  const std::uint32_t chunks = 640;
+
+  std::printf("Iterative analysis: 64 nodes, %u chunks per epoch, 0.5 s compute/task\n\n",
+              chunks);
+
+  Table t({"epochs", "baseline total (s)", "opass total (s)", "speedup",
+           "baseline s/epoch", "opass s/epoch"});
+  for (std::uint32_t epochs : {1u, 2u, 4u, 8u}) {
+    const auto base =
+        exp::run_iterative(cfg, chunks, epochs, exp::Method::kBaseline, 0.5);
+    const auto op = exp::run_iterative(cfg, chunks, epochs, exp::Method::kOpass, 0.5);
+    t.add_row({Table::integer(epochs), Table::num(base.total_time, 1),
+               Table::num(op.total_time, 1),
+               Table::num(base.total_time / op.total_time, 2) + "x",
+               Table::num(base.total_time / epochs, 1),
+               Table::num(op.total_time / epochs, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  const auto base = exp::run_iterative(cfg, chunks, 4, exp::Method::kBaseline, 0.5);
+  const auto op = exp::run_iterative(cfg, chunks, 4, exp::Method::kOpass, 0.5);
+  std::printf("\nper-epoch times (4-epoch run): baseline");
+  for (Seconds s : base.epoch_times) std::printf(" %.1f", s);
+  std::printf(" s; opass");
+  for (Seconds s : op.epoch_times) std::printf(" %.1f", s);
+  std::printf(" s\n");
+  std::printf("\nThe per-epoch gap is constant, so Opass's advantage scales linearly with\n"
+              "iteration count while its one-time matching cost stays in the noise.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Cluster-membership churn experiment.
+//
+// The paper (Section IV-B): "in HDFS, there are cases that can cause the
+// data distribution to be unbalanced. For instance, node addition or removal
+// could cause an unbalanced redistribution of data. Because of this, the
+// maximum matching achieved through the flow-based method may be not a full
+// matching."
+//
+// We store a dataset on 72 nodes, decommission 8 (their replicas re-created
+// on random survivors, skewing the layout), and compare baseline vs Opass on
+// the surviving 64 nodes, before and after running the HDFS-style balancer.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+struct Row {
+  const char* phase;
+  double spread;  // max-min replica count
+  std::uint32_t locally_matched;
+  std::uint32_t filled;
+  double base_avg_io, opass_avg_io;
+};
+
+Row measure(const char* phase, dfs::NameNode& nn, const std::vector<runtime::Task>& tasks) {
+  // Processes live on the surviving nodes only.
+  core::ProcessPlacement placement;
+  for (dfs::NodeId n = 0; n < nn.node_count(); ++n)
+    if (!nn.is_decommissioned(n)) placement.push_back(n);
+
+  const auto counts = nn.node_chunk_counts();
+  std::uint32_t hi = 0, lo = UINT32_MAX;
+  for (dfs::NodeId n = 0; n < nn.node_count(); ++n) {
+    if (nn.is_decommissioned(n)) continue;
+    hi = std::max(hi, counts[n]);
+    lo = std::min(lo, counts[n]);
+  }
+
+  Rng assign_rng(31);
+  const auto plan = core::assign_single_data(nn, tasks, placement, assign_rng);
+
+  // execute() pins process p to node p, so we run with one process per node
+  // (decommissioned ones get empty task lists via widen() below and retire
+  // immediately). Decommissioned nodes hold no replicas, so no read ever
+  // touches them.
+  auto run = [&](const runtime::Assignment& assignment) {
+    sim::Cluster cluster(nn.node_count());
+    runtime::StaticAssignmentSource source(assignment);
+    Rng exec_rng(17);
+    runtime::ExecutorConfig full;
+    full.process_count = nn.node_count();
+    return runtime::execute(cluster, nn, tasks, source, exec_rng, full);
+  };
+
+  // Build full-width assignments: index = node id; decommissioned nodes idle.
+  auto widen = [&](const runtime::Assignment& compact) {
+    runtime::Assignment wide(nn.node_count());
+    for (std::size_t i = 0; i < placement.size(); ++i) wide[placement[i]] = compact[i];
+    return wide;
+  };
+
+  const auto base_compact = runtime::rank_interval_assignment(
+      static_cast<std::uint32_t>(tasks.size()), static_cast<std::uint32_t>(placement.size()));
+  const auto base = run(widen(base_compact));
+  const auto opass = run(widen(plan.assignment));
+
+  return {phase,
+          static_cast<double>(hi - lo),
+          plan.locally_matched,
+          plan.randomly_filled,
+          summarize(base.trace.io_times()).mean,
+          summarize(opass.trace.io_times()).mean};
+}
+
+}  // namespace
+
+namespace {
+
+void run_scenario(std::uint32_t chunks) {
+  const std::uint32_t initial_nodes = 72;
+  const std::uint32_t decommissioned = 8;
+
+  dfs::NameNode nn(dfs::Topology::single_rack(initial_nodes), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(99);
+  const auto tasks = workload::make_single_data_workload(nn, chunks, policy, rng);
+
+  std::printf("Membership churn: %u nodes, decommission %u, %u chunks (~%u per "
+              "surviving process)\n\n",
+              initial_nodes, decommissioned, chunks,
+              chunks / (initial_nodes - decommissioned));
+
+  std::vector<Row> rows;
+  rows.push_back(measure("initial (72 up)", nn, tasks));
+
+  for (std::uint32_t i = 0; i < decommissioned; ++i) nn.decommission_node(i, rng);
+  nn.check_invariants();
+  rows.push_back(measure("after decommission", nn, tasks));
+
+  const auto moves = nn.balance(rng, /*tolerance=*/2);
+  nn.check_invariants();
+  rows.push_back(measure("after balancer", nn, tasks));
+
+  Table t({"phase", "replica spread", "locally matched", "random-filled", "base avg I/O",
+           "opass avg I/O"});
+  for (const auto& r : rows)
+    t.add_row({r.phase, Table::num(r.spread, 0), Table::integer(r.locally_matched),
+               Table::integer(r.filled), Table::num(r.base_avg_io, 2),
+               Table::num(r.opass_avg_io, 2)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("balancer moved %u replicas\n\n", moves);
+}
+
+}  // namespace
+
+int main() {
+  // Generous quotas (the paper's ~10 chunks/process): the matcher absorbs
+  // the skew and stays full.
+  run_scenario(640);
+  // Tight quotas (~2 chunks/process): decommission-induced skew makes full
+  // matchings fail — Section IV-B's motivating case for the random fill.
+  run_scenario(128);
+  std::printf("Decommissioning skews the layout (larger replica spread) — exactly the\n"
+              "situation Section IV-B cites for why a full matching may not exist; the\n"
+              "random-fill fallback covers the gap and the balancer restores it.\n");
+  return 0;
+}

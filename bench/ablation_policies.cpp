@@ -1,0 +1,105 @@
+// Ablations over the design choices DESIGN.md calls out.
+//
+//  1. Replica-choice policy: how much imbalance could a smarter DFS-side
+//     choice (least-loaded) recover *without* Opass — versus Opass itself.
+//  2. Placement policy: Opass's gain as a function of layout skew (random vs
+//     classic HDFS writer-local vs perfectly even round-robin). Round-robin
+//     guarantees a full matching (Section IV-B's ideal case).
+//  3. Full-matching rate: how often random layouts admit a full matching, by
+//     cluster size — why the random-fill fallback exists.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+#include "opass/opass.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+void ablate_replica_choice() {
+  std::printf("Ablation 1: replica-choice policy (64 nodes, 640 chunks, baseline "
+              "rank-interval assignment)\n\n");
+  Table t({"replica choice", "avg I/O (s)", "max I/O (s)", "Jain fairness", "makespan (s)"});
+  for (auto rc : {dfs::ReplicaChoice::kRandom, dfs::ReplicaChoice::kFirst,
+                  dfs::ReplicaChoice::kLeastLoaded}) {
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 64;
+    cfg.seed = 13;
+    cfg.replica_choice = rc;
+    const auto out = exp::run_single_data(cfg, 640, exp::Method::kBaseline);
+    t.add_row({dfs::replica_choice_name(rc), Table::num(out.io.mean, 2),
+               Table::num(out.io.max, 2), Table::num(jain_fairness(out.served_mb), 3),
+               Table::num(out.makespan, 1)});
+  }
+  {
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 64;
+    cfg.seed = 13;
+    const auto out = exp::run_single_data(cfg, 640, exp::Method::kOpass);
+    t.add_row({"(opass, random)", Table::num(out.io.mean, 2), Table::num(out.io.max, 2),
+               Table::num(jain_fairness(out.served_mb), 3), Table::num(out.makespan, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(least-loaded replica choice helps the baseline but cannot create\n"
+              " locality; Opass dominates because local reads skip the network)\n\n");
+}
+
+void ablate_placement() {
+  std::printf("Ablation 2: placement policy vs Opass gain (64 nodes, 640 chunks)\n\n");
+  Table t({"placement", "base avg I/O", "opass avg I/O", "gain", "opass local %"});
+  for (auto pk : {dfs::PlacementKind::kRandom, dfs::PlacementKind::kHdfsDefault,
+                  dfs::PlacementKind::kRoundRobin}) {
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 64;
+    cfg.seed = 14;
+    cfg.placement = pk;
+    const auto base = exp::run_single_data(cfg, 640, exp::Method::kBaseline);
+    const auto op = exp::run_single_data(cfg, 640, exp::Method::kOpass);
+    t.add_row({dfs::placement_kind_name(pk), Table::num(base.io.mean, 2),
+               Table::num(op.io.mean, 2), Table::num(base.io.mean / op.io.mean, 1) + "x",
+               Table::num(100 * op.local_fraction, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(round-robin placement admits a guaranteed full matching; random\n"
+              " placement still reaches ~100%% locality via the max-flow matcher)\n\n");
+}
+
+void full_matching_rate() {
+  std::printf("Ablation 3: full-matching rate vs chunks per process (64 nodes, r=3, "
+              "40 random layouts each)\n\n");
+  const std::uint32_t m = 64;
+  Table t({"chunks/process", "full matchings", "avg locally matched %"});
+  for (std::uint32_t per : {1u, 2u, 4u, 10u, 20u}) {
+    int full = 0;
+    double matched = 0;
+    const int layouts = 40;
+    for (int i = 0; i < layouts; ++i) {
+      dfs::NameNode nn(dfs::Topology::single_rack(m), 3, kDefaultChunkSize);
+      dfs::RandomPlacement policy;
+      Rng rng(static_cast<std::uint64_t>(per) * 1000 + static_cast<std::uint64_t>(i));
+      const auto tasks = workload::make_single_data_workload(nn, m * per, policy, rng);
+      const auto placement = core::one_process_per_node(nn);
+      const auto plan = core::assign_single_data(nn, tasks, placement, rng);
+      if (plan.full_matching) ++full;
+      matched += 100.0 * plan.locally_matched / static_cast<double>(tasks.size());
+    }
+    t.add_row({Table::integer(per), Table::integer(full) + "/" + std::to_string(layouts),
+               Table::num(matched / layouts, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(full matchings get rarer as quotas shrink — with 1-2 chunks per process\n"
+              " the quota constraint binds on skewed layouts; even then nearly all tasks\n"
+              " match locally and the remainder are filled randomly per IV-B)\n");
+}
+
+}  // namespace
+
+int main() {
+  ablate_replica_choice();
+  ablate_placement();
+  full_matching_rate();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Rack-aware Opass on an oversubscribed multi-rack cluster (extension).
+//
+// Marmot is a single switch, so the paper stops at node locality. On a
+// racked cluster with an oversubscribed core, off-rack reads contend on the
+// shared uplinks; a rack-local read avoids them. We compare the baseline,
+// plain Opass (node-local only), and the three-phase rack-aware matcher on a
+// 64-node / 8-rack cluster whose rack uplinks carry 4x a node NIC (8 nodes
+// per rack => 2:1 oversubscription), with r = 1 and tight quotas so node
+// locality genuinely saturates and the rack phase has leftovers to place.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+}  // namespace
+
+int main() {
+  const std::uint32_t nodes = 64, racks = 8;
+  const std::uint32_t chunks = 128;  // 2 per process: tight quotas stress the phases
+  const auto topo = dfs::Topology::uniform_racks(nodes, racks);
+
+  dfs::NameNode nn(topo, /*replication=*/1, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(31415);
+  const auto tasks = workload::make_single_data_workload(nn, chunks, policy, rng);
+  const auto placement = core::one_process_per_node(nn);
+
+  sim::ClusterParams params;  // defaults + oversubscribed core
+  params.rack_uplink_bandwidth = 4.0 * params.nic_bandwidth;
+
+  std::printf("Rack-aware Opass: %u nodes in %u racks, uplinks 4x NIC (2:1 "
+              "oversubscription), r=1, %u chunks\n\n",
+              nodes, racks, chunks);
+
+  struct Variant {
+    std::string name;
+    runtime::Assignment assignment;
+    std::string phases;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"rank-interval", runtime::rank_interval_assignment(chunks, nodes), "-"});
+  {
+    Rng arng(7);
+    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
+    variants.push_back({"opass node-local", plan.assignment,
+                        Table::integer(plan.locally_matched) + " node / 0 rack / " +
+                            Table::integer(plan.randomly_filled) + " fill"});
+  }
+  {
+    Rng arng(7);
+    const auto plan = core::assign_single_data_rack_aware(nn, tasks, placement, arng);
+    variants.push_back({"opass rack-aware", plan.assignment,
+                        Table::integer(plan.node_local) + " node / " +
+                            Table::integer(plan.rack_local) + " rack / " +
+                            Table::integer(plan.random_filled) + " fill"});
+  }
+
+  Table t({"assignment", "phase counts", "avg I/O (s)", "off-rack reads", "makespan (s)"});
+  for (const auto& v : variants) {
+    sim::Cluster cluster(topo, params);
+    runtime::StaticAssignmentSource source(v.assignment);
+    Rng exec_rng(11);
+    const auto r = runtime::execute(cluster, nn, tasks, source, exec_rng);
+    std::uint32_t off_rack = 0;
+    for (const auto& rec : r.trace.records())
+      if (cluster.rack_of(rec.reader_node) != cluster.rack_of(rec.serving_node)) ++off_rack;
+    t.add_row({v.name, v.phases, Table::num(summarize(r.trace.io_times()).mean, 2),
+               Table::integer(off_rack), Table::num(r.makespan, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nThe rack phase converts off-rack reads (which cross the oversubscribed\n"
+              "core) into rack-local ones, cutting both the average read and the tail.\n");
+  return 0;
+}

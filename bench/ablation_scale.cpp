@@ -1,0 +1,53 @@
+// Scale knobs: chunk size and processes per node.
+//
+// The paper fixes 64 MB chunks and one process per node (on 2-core Marmot
+// nodes). This ablation sweeps both: smaller chunks mean more, shorter
+// reads (same bytes); more processes per node oversubscribe each disk even
+// under full locality.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+int main() {
+  using namespace opass;
+
+  std::printf("Chunk-size sweep: 64 nodes, 40 GiB dataset, baseline vs Opass\n\n");
+  Table t1({"chunk size", "chunks", "base avg I/O", "base makespan", "opass avg I/O",
+            "opass makespan"});
+  for (const Bytes chunk_mb : {32ull, 64ull, 128ull}) {
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 64;
+    cfg.seed = 99;
+    cfg.chunk_size = chunk_mb * kMiB;
+    const auto chunks = static_cast<std::uint32_t>(40 * kGiB / cfg.chunk_size);
+    const auto base = exp::run_single_data(cfg, chunks, exp::Method::kBaseline);
+    const auto op = exp::run_single_data(cfg, chunks, exp::Method::kOpass);
+    t1.add_row({format_bytes(cfg.chunk_size), Table::integer(chunks),
+                Table::num(base.io.mean, 2), Table::num(base.makespan, 1),
+                Table::num(op.io.mean, 2), Table::num(op.makespan, 1)});
+  }
+  std::fputs(t1.render().c_str(), stdout);
+  std::printf("(per-op time scales with the chunk size; the locality gap — and the\n"
+              " makespan ratio — is chunk-size invariant)\n\n");
+
+  std::printf("Processes-per-node sweep: 64 nodes, 640 chunks\n\n");
+  Table t2({"procs/node", "base avg I/O", "base makespan", "opass avg I/O",
+            "opass makespan", "opass local %"});
+  for (const std::uint32_t ppn : {1u, 2u, 4u}) {
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 64;
+    cfg.seed = 99;
+    cfg.processes_per_node = ppn;
+    const auto base = exp::run_single_data(cfg, 640, exp::Method::kBaseline);
+    const auto op = exp::run_single_data(cfg, 640, exp::Method::kOpass);
+    t2.add_row({Table::integer(ppn), Table::num(base.io.mean, 2),
+                Table::num(base.makespan, 1), Table::num(op.io.mean, 2),
+                Table::num(op.makespan, 1), Table::num(100 * op.local_fraction, 1)});
+  }
+  std::fputs(t2.render().c_str(), stdout);
+  std::printf("(Opass keeps locality at every density; with more processes per node the\n"
+              " local disk itself becomes the shared bottleneck, so per-op times rise\n"
+              " for both methods while the ordering is preserved)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Streaming arrivals: incremental matching vs oblivious dispatch.
+//
+// Tasks arrive in batches (a visualization session opening new time steps);
+// each batch must be dispatched when it arrives. The incremental planner
+// matches every batch against the remaining fair share, keeping cumulative
+// load within one task across processes while preserving locality; the
+// baseline deals each batch round-robin.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+}  // namespace
+
+int main() {
+  const std::uint32_t nodes = 64;
+  const std::uint32_t batches = 8, per_batch = 80;
+
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(2718);
+  const auto tasks =
+      workload::make_single_data_workload(nn, batches * per_batch, policy, rng);
+  const auto placement = core::one_process_per_node(nn);
+
+  std::printf("Streaming arrivals: %u batches x %u tasks on %u nodes, batch gap 2 s\n\n",
+              batches, per_batch, nodes);
+
+  Table t({"dispatcher", "local %", "avg I/O (s)", "total time (s)"});
+  for (const bool use_opass : {false, true}) {
+    core::IncrementalPlanner planner(nn, placement);
+    sim::Cluster cluster(nodes);
+    sim::TraceRecorder all;
+    Rng exec_rng(5), fill_rng(7);
+    Seconds total = 0;
+
+    for (std::uint32_t b = 0; b < batches; ++b) {
+      const std::vector<runtime::Task> batch(tasks.begin() + b * per_batch,
+                                             tasks.begin() + (b + 1) * per_batch);
+      runtime::Assignment assignment(nodes);
+      if (use_opass) {
+        const auto plan = planner.match_batch(batch, fill_rng);
+        assignment = plan.assignment;
+      } else {
+        for (std::uint32_t i = 0; i < per_batch; ++i)
+          assignment[i % nodes].push_back(batch[i].id);
+      }
+      const Seconds start = cluster.simulator().now();
+      runtime::StaticAssignmentSource source(assignment);
+      const auto r = runtime::execute(cluster, nn, tasks, source, exec_rng);
+      total = r.makespan;
+      for (const auto& rec : r.trace.records()) all.add(rec);
+      // Inter-batch gap (the next time step opens 2 s later).
+      cluster.simulator().after(2.0, [](Seconds) {});
+      cluster.run();
+      (void)start;
+    }
+    t.add_row({use_opass ? "incremental opass" : "round-robin",
+               Table::num(100 * all.local_fraction(), 1),
+               Table::num(summarize(all.io_times()).mean, 2), Table::num(total, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nBatch-at-a-time matching keeps ~full locality without knowing future\n"
+              "arrivals, and its least-loaded quota rule keeps cumulative per-process\n"
+              "load within one task across batches.\n");
+  return 0;
+}

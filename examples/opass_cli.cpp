@@ -1,0 +1,118 @@
+// opass_cli — run any paper scenario from the command line.
+//
+//   opass_cli --scenario=single --nodes=64 --tasks=640 --method=opass
+//   opass_cli --scenario=paraview --method=both --csv
+//   opass_cli --scenario=dynamic --nodes=128 --seed=7 --compute=0.4
+//
+// Prints the run's headline metrics as a table, or the per-op I/O series as
+// CSV with --csv (ready for plotting).
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+
+namespace {
+
+using namespace opass;
+
+int run_method(const std::string& scenario, exp::Method method,
+               const exp::ExperimentConfig& cfg, std::uint32_t tasks, double compute,
+               bool csv, Table& table) {
+  exp::RunOutput out;
+  if (scenario == "single") {
+    out = exp::run_single_data(cfg, tasks, method);
+  } else if (scenario == "multi") {
+    out = exp::run_multi_data(cfg, tasks, method);
+  } else if (scenario == "dynamic") {
+    workload::GenomicsSpec spec;
+    spec.mean_compute_time = compute;
+    out = exp::run_dynamic(cfg, tasks, method, spec);
+  } else if (scenario == "paraview") {
+    workload::ParaViewSpec spec;
+    spec.dataset_count = tasks;
+    spec.datasets_per_step = std::min(tasks, cfg.nodes);
+    out = exp::run_paraview(cfg, method, spec).run;
+  } else if (scenario == "iterative") {
+    out = exp::run_iterative(cfg, tasks, /*epochs=*/4, method, compute).run;
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s' (single|multi|dynamic|paraview|iterative)\n",
+                 scenario.c_str());
+    return 1;
+  }
+
+  if (csv) {
+    Table series({"op", "method", "io_time_s"});
+    for (std::size_t i = 0; i < out.io_times.size(); ++i)
+      series.add_row({Table::integer(static_cast<long long>(i)),
+                      exp::method_name(method), Table::num(out.io_times[i], 4)});
+    std::fputs(series.csv().c_str(), stdout);
+  } else {
+    table.add_row({exp::method_name(method), Table::num(out.io.mean, 2),
+                   Table::num(out.io.max, 2), Table::num(100 * out.local_fraction, 1),
+                   Table::num(jain_fairness(out.served_mb), 3),
+                   Table::num(out.makespan, 1)});
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add("scenario", "single", "single | multi | dynamic | paraview | iterative")
+      .add("method", "both", "baseline | opass | both")
+      .add("nodes", "64", "cluster size m")
+      .add("tasks", "640", "tasks / chunk files / datasets")
+      .add("replication", "3", "replication factor r")
+      .add("seed", "42", "experiment seed")
+      .add("compute", "0.0", "mean compute seconds per task (dynamic scenario)")
+      .add("placement", "random", "random | hdfs-default | round-robin")
+      .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
+      .add("help", "false", "show usage");
+  if (!opts.parse(argc, argv) || opts.boolean("help")) {
+    if (!opts.error().empty()) std::fprintf(stderr, "error: %s\n", opts.error().c_str());
+    std::fputs(opts.usage("opass_cli").c_str(), stderr);
+    return opts.boolean("help") ? 0 : 2;
+  }
+
+  exp::ExperimentConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(opts.integer("nodes"));
+  cfg.replication = static_cast<std::uint32_t>(opts.integer("replication"));
+  cfg.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  const std::string placement = opts.str("placement");
+  if (placement == "hdfs-default") {
+    cfg.placement = dfs::PlacementKind::kHdfsDefault;
+  } else if (placement == "round-robin") {
+    cfg.placement = dfs::PlacementKind::kRoundRobin;
+  } else if (placement != "random") {
+    std::fprintf(stderr, "unknown placement '%s'\n", placement.c_str());
+    return 2;
+  }
+
+  const std::string scenario = opts.str("scenario");
+  const std::string method = opts.str("method");
+  const auto tasks = static_cast<std::uint32_t>(opts.integer("tasks"));
+  const double compute = opts.real("compute");
+  const bool csv = opts.boolean("csv");
+
+  Table table({"method", "avg I/O (s)", "max I/O (s)", "local %", "Jain", "makespan (s)"});
+  int rc = 0;
+  if (method == "baseline" || method == "both")
+    rc |= run_method(scenario, exp::Method::kBaseline, cfg, tasks, compute, csv, table);
+  if (method == "opass" || method == "both")
+    rc |= run_method(scenario, exp::Method::kOpass, cfg, tasks, compute, csv, table);
+  if (method != "baseline" && method != "opass" && method != "both") {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  if (!csv && table.rows() > 0) {
+    std::printf("scenario=%s nodes=%u tasks=%u r=%u seed=%llu placement=%s\n\n",
+                scenario.c_str(), cfg.nodes, tasks, cfg.replication,
+                static_cast<unsigned long long>(cfg.seed),
+                dfs::placement_kind_name(cfg.placement));
+    std::fputs(table.render().c_str(), stdout);
+  }
+  return rc;
+}

@@ -1,0 +1,46 @@
+// ParaView-style visualization pipeline (the Section V-B scenario).
+//
+// Models pvbatch driving a MultiBlock dataset series: a meta-file indexes
+// 640 VTK sub-datasets; every rendering step reads 64 of them (~3.8 GB) on
+// 64 data-server processes and renders. With Opass, the reader's data
+// assignment (the ReadXMLData() hook) is computed by the matching-based
+// assigner instead of by process rank, so each data server's pieces are
+// locally accessible.
+//
+// Usage: paraview_pipeline [nodes] [datasets] [datasets_per_step]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opass;
+
+  exp::ExperimentConfig cfg;
+  cfg.nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  cfg.seed = 2015;
+
+  workload::ParaViewSpec spec;
+  if (argc > 2) spec.dataset_count = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  if (argc > 3) spec.datasets_per_step = static_cast<std::uint32_t>(std::atoi(argv[3]));
+
+  std::printf("ParaView MultiBlock pipeline: %u nodes, %u datasets (%.1f GiB), "
+              "%u per rendering step\n\n",
+              cfg.nodes, spec.dataset_count,
+              to_gib(static_cast<Bytes>(spec.dataset_count) * spec.bytes_per_dataset),
+              spec.datasets_per_step);
+
+  for (auto method : {exp::Method::kBaseline, exp::Method::kOpass}) {
+    const auto out = exp::run_paraview(cfg, method, spec);
+    std::printf("%-22s  read avg %.2fs (stddev %.3f)  local %5.1f%%  total %.0fs\n",
+                method == exp::Method::kBaseline ? "rank-based reader:" : "opass reader:",
+                out.run.io.mean, out.run.io.stddev, 100 * out.run.local_fraction,
+                out.total_time);
+    std::printf("  step times:");
+    for (Seconds t : out.step_times) std::printf(" %.1f", t);
+    std::printf(" s\n\n");
+  }
+  std::printf("The rank-based reader's slow steps are renders stalled on one hot storage\n"
+              "node; the Opass reader keeps every step near the local-read floor.\n");
+  return 0;
+}

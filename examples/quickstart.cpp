@@ -1,0 +1,37 @@
+// Quickstart: the 60-second tour of the library.
+//
+// Stores a chunked dataset in the HDFS-model file system on a 64-node
+// simulated cluster, then runs the same parallel read job twice — once with
+// the rank-interval assignment applications like ParaView use, once with the
+// Opass matching-based assignment — and prints the paper's headline metrics:
+// locality, per-read I/O time, balance across storage nodes, and makespan.
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+
+int main() {
+  using namespace opass;
+
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 64;
+  cfg.seed = 42;
+
+  const std::uint32_t chunks = 640;  // ~10 chunks per process, as in the paper
+
+  std::printf("Opass quickstart: %u nodes, %u chunks of 64 MiB, 3-way replication\n\n",
+              cfg.nodes, chunks);
+
+  for (const auto method : {exp::Method::kBaseline, exp::Method::kOpass}) {
+    const auto out = exp::run_single_data(cfg, chunks, method);
+    std::printf("%-8s  local reads: %5.1f%%   avg I/O: %6.2fs  (min %.2f / max %.2f)\n",
+                exp::method_name(method), 100.0 * out.local_fraction, out.io.mean,
+                out.io.min, out.io.max);
+    const auto served = summarize(out.served_mb);
+    std::printf("          served per node (MiB): min %.0f / avg %.0f / max %.0f   "
+                "makespan: %.1fs\n\n",
+                served.min, served.mean, served.max, out.makespan);
+  }
+  std::printf("Expected shape (paper Figs. 7-8): Opass reads ~100%% locally, cuts the\n"
+              "average I/O time to ~1/4 of the baseline and serves ~equal bytes per node.\n");
+  return 0;
+}

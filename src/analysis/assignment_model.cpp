@@ -1,0 +1,56 @@
+#include "analysis/assignment_model.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace opass::analysis {
+
+std::vector<double> expected_bytes_served(const dfs::NameNode& nn,
+                                          const std::vector<runtime::Task>& tasks,
+                                          const runtime::Assignment& assignment,
+                                          const std::vector<dfs::NodeId>& placement) {
+  OPASS_REQUIRE(assignment.size() == placement.size(),
+                "assignment and placement disagree on process count");
+  std::vector<double> served(nn.node_count(), 0.0);
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    const dfs::NodeId reader = placement[p];
+    OPASS_REQUIRE(reader < nn.node_count(), "process placed on unknown node");
+    for (runtime::TaskId t : assignment[p]) {
+      OPASS_REQUIRE(t < tasks.size(), "assignment references unknown task");
+      for (dfs::ChunkId c : tasks[t].inputs) {
+        const auto& chunk = nn.chunk(c);
+        if (chunk.has_replica_on(reader)) {
+          served[reader] += static_cast<double>(chunk.size);
+        } else {
+          OPASS_REQUIRE(!chunk.replicas.empty(), "chunk has no replicas");
+          const double share =
+              static_cast<double>(chunk.size) / static_cast<double>(chunk.replicas.size());
+          for (dfs::NodeId rep : chunk.replicas) served[rep] += share;
+        }
+      }
+    }
+  }
+  return served;
+}
+
+Seconds makespan_lower_bound(const dfs::NameNode& nn,
+                             const std::vector<runtime::Task>& tasks,
+                             const runtime::Assignment& assignment,
+                             const std::vector<dfs::NodeId>& placement,
+                             BytesPerSec disk_bandwidth) {
+  const auto served = expected_bytes_served(nn, tasks, assignment, placement);
+  double hottest = 0;
+  for (double b : served) hottest = std::max(hottest, b);
+
+  double reader_max = 0;
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    double bytes = 0;
+    for (runtime::TaskId t : assignment[p])
+      bytes += static_cast<double>(tasks[t].input_bytes(nn));
+    reader_max = std::max(reader_max, bytes);
+  }
+  return std::max(hottest, reader_max) / disk_bandwidth;
+}
+
+}  // namespace opass::analysis

@@ -1,0 +1,41 @@
+// Analytic predictions for a concrete assignment (pre-simulation).
+//
+// Given an assignment and the HDFS read policy (local preference, uniform
+// remote replica choice), the expected bytes served by each node is a
+// deterministic sum over tasks — no Monte Carlo needed. From it follow
+// hard lower bounds on the parallel makespan: no node's disk can ship its
+// served bytes faster than its bandwidth, and no process can finish before
+// reading its own assigned bytes. These bounds let tests and capacity
+// planning sanity-check the simulator from first principles.
+#pragma once
+
+#include <vector>
+
+#include "dfs/namenode.hpp"
+#include "runtime/static_partitioner.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::analysis {
+
+/// Expected bytes served by each node under local preference + uniform
+/// remote replica choice: a chunk whose assigned process is co-located is
+/// served locally with certainty; otherwise each replica holder serves it
+/// with probability 1/r.
+std::vector<double> expected_bytes_served(const dfs::NameNode& nn,
+                                          const std::vector<runtime::Task>& tasks,
+                                          const runtime::Assignment& assignment,
+                                          const std::vector<dfs::NodeId>& placement);
+
+/// Hard lower bound on the parallel makespan:
+///   max( max_node E[bytes served by node] / disk_bandwidth,
+///        max_process assigned bytes / disk_bandwidth )
+/// The first term is exact for deterministic serve patterns (e.g. full
+/// locality) and an expectation otherwise; the second ignores all contention
+/// and latency, so the bound is conservative.
+Seconds makespan_lower_bound(const dfs::NameNode& nn,
+                             const std::vector<runtime::Task>& tasks,
+                             const runtime::Assignment& assignment,
+                             const std::vector<dfs::NodeId>& placement,
+                             BytesPerSec disk_bandwidth);
+
+}  // namespace opass::analysis

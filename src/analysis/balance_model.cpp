@@ -1,0 +1,44 @@
+#include "analysis/balance_model.hpp"
+
+#include "analysis/binomial.hpp"
+#include "common/require.hpp"
+
+namespace opass::analysis {
+
+double BalanceModel::pmf_chunks_held(std::uint64_t a) const {
+  OPASS_REQUIRE(cluster_nodes > 0, "cluster must have nodes");
+  OPASS_REQUIRE(replication > 0 && replication <= cluster_nodes,
+                "replication factor must be in [1, m]");
+  const double p = static_cast<double>(replication) / static_cast<double>(cluster_nodes);
+  return binomial_pmf(chunks, a, p);
+}
+
+double BalanceModel::cdf_chunks_served(std::uint64_t k) const {
+  const double serve_p = 1.0 / static_cast<double>(replication);
+  double acc = 0.0;
+  for (std::uint64_t a = 0; a <= chunks; ++a) {
+    const double py = pmf_chunks_held(a);
+    if (py == 0.0) continue;
+    acc += binomial_cdf(a, k, serve_p) * py;
+  }
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double BalanceModel::sf_chunks_served(std::uint64_t k) const {
+  const double v = 1.0 - cdf_chunks_served(k);
+  return v < 0.0 ? 0.0 : v;
+}
+
+double BalanceModel::expected_nodes_serving_at_most(std::uint64_t k) const {
+  return static_cast<double>(cluster_nodes) * cdf_chunks_served(k);
+}
+
+double BalanceModel::expected_nodes_serving_more_than(std::uint64_t k) const {
+  return static_cast<double>(cluster_nodes) * sf_chunks_served(k);
+}
+
+double BalanceModel::expected_chunks_served() const {
+  return static_cast<double>(chunks) / static_cast<double>(cluster_nodes);
+}
+
+}  // namespace opass::analysis

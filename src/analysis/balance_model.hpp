@@ -1,0 +1,48 @@
+// Section III-B: imbalanced access pattern analysis.
+//
+// For a storage node n_j: Y = number of chunks whose replica set includes n_j
+// is Binomial(n, r/m). Conditioned on Y = a, the number of chunks actually
+// *served* by n_j is Binomial(a, 1/r) (each chunk's requester picks one of
+// the r replicas uniformly; per Section III-A almost all requests are
+// remote). By the law of total probability:
+//
+//   P(Z <= k) = sum_a P(Z <= k | Y = a) P(Y = a)
+//
+// The paper evaluates r = 3, n = 512, m = 128 and quotes the expected number
+// of nodes serving <= 1 chunk and > 8 chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace opass::analysis {
+
+/// Parameters of the serve-imbalance model.
+struct BalanceModel {
+  std::uint32_t cluster_nodes;  ///< m
+  std::uint32_t replication;    ///< r
+  std::uint64_t chunks;         ///< n
+
+  /// P(Y = a): node holds exactly a chunk replicas.
+  double pmf_chunks_held(std::uint64_t a) const;
+
+  /// P(Z <= k): node serves at most k chunk requests (law of total
+  /// probability over Y).
+  double cdf_chunks_served(std::uint64_t k) const;
+
+  /// P(Z > k).
+  double sf_chunks_served(std::uint64_t k) const;
+
+  /// Expected number of cluster nodes serving at most k chunks:
+  /// m * P(Z <= k). (The paper's text multiplies by n = 512 rather than
+  /// m = 128 — an apparent typo; we report both, see bench/fig03.)
+  double expected_nodes_serving_at_most(std::uint64_t k) const;
+
+  /// Expected number of cluster nodes serving more than k chunks.
+  double expected_nodes_serving_more_than(std::uint64_t k) const;
+
+  /// E[Z] = n/m (every chunk is served by exactly one node).
+  double expected_chunks_served() const;
+};
+
+}  // namespace opass::analysis

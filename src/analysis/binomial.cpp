@@ -1,0 +1,40 @@
+#include "analysis/binomial.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace opass::analysis {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  OPASS_REQUIRE(k <= n, "log_choose requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  OPASS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double logp = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                      static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) acc += binomial_pmf(n, i, p);
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double binomial_sf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 0.0;
+  double acc = 0.0;
+  for (std::uint64_t i = k + 1; i <= n; ++i) acc += binomial_pmf(n, i, p);
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+}  // namespace opass::analysis

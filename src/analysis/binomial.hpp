@@ -1,0 +1,24 @@
+// Numerically stable binomial distribution, computed in log space via lgamma
+// so that n = thousands of chunks does not overflow. Foundation of the
+// Section III models.
+#pragma once
+
+#include <cstdint>
+
+namespace opass::analysis {
+
+/// log of the binomial coefficient C(n, k); requires 0 <= k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// P(X = k) for X ~ Binomial(n, p).
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p). Sums pmf terms; exact enough for the
+/// n <= tens-of-thousands regimes used here.
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(X > k) = 1 - cdf, computed by summing the upper tail directly so small
+/// tail probabilities keep full relative precision.
+double binomial_sf(std::uint64_t n, std::uint64_t k, double p);
+
+}  // namespace opass::analysis

@@ -1,0 +1,46 @@
+#include "analysis/locality_model.hpp"
+
+#include "analysis/binomial.hpp"
+#include "common/require.hpp"
+
+namespace opass::analysis {
+
+double LocalityModel::local_probability() const {
+  OPASS_REQUIRE(cluster_nodes > 0, "cluster must have nodes");
+  OPASS_REQUIRE(replication > 0 && replication <= cluster_nodes,
+                "replication factor must be in [1, m]");
+  switch (mode) {
+    case LocalityMode::kCoLocated:
+      return static_cast<double>(replication) / static_cast<double>(cluster_nodes);
+    case LocalityMode::kRandomReplica:
+      return 1.0 / static_cast<double>(cluster_nodes);
+  }
+  OPASS_CHECK(false, "unknown locality mode");
+}
+
+double LocalityModel::cdf_local_reads(std::uint64_t k) const {
+  return binomial_cdf(chunks, k, local_probability());
+}
+
+double LocalityModel::sf_local_reads(std::uint64_t k) const {
+  return binomial_sf(chunks, k, local_probability());
+}
+
+double LocalityModel::expected_local_reads() const {
+  return static_cast<double>(chunks) * local_probability();
+}
+
+std::vector<double> LocalityModel::cdf_series(std::uint64_t k_max) const {
+  std::vector<double> out;
+  out.reserve(k_max + 1);
+  // Accumulate pmf terms once instead of recomputing the sum per point.
+  const double p = local_probability();
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k <= k_max; ++k) {
+    acc += binomial_pmf(chunks, k, p);
+    out.push_back(acc > 1.0 ? 1.0 : acc);
+  }
+  return out;
+}
+
+}  // namespace opass::analysis

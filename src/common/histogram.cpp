@@ -1,0 +1,51 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace opass {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  OPASS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  OPASS_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  OPASS_REQUIRE(bin < counts_.size(), "bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char range[64];
+    std::snprintf(range, sizeof range, "[%7.2f, %7.2f)", bin_lo(b), bin_hi(b));
+    os << range << "  ";
+    const std::size_t bar =
+        peak == 0 ? 0 : (counts_[b] * max_bar_width + peak - 1) / peak;
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace opass

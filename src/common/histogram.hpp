@@ -1,0 +1,36 @@
+// Fixed-width histogram for figure-style output (e.g. the I/O-time histogram
+// in Fig. 1(b) and per-op traces binned for display).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace opass {
+
+/// Fixed-width bin histogram over [lo, hi). Values outside the range are
+/// clamped into the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering: one line per bin with a proportional bar, e.g.
+  ///   [ 0.0,  1.0)  ################ 412
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace opass

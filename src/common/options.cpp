@@ -1,0 +1,102 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace opass {
+
+Options& Options::add(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  OPASS_REQUIRE(!name.empty() && name[0] != '-', "flag names are given without dashes");
+  OPASS_REQUIRE(!flags_.count(name), "flag declared twice");
+  flags_[name] = {default_value, default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string key, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      auto it = flags_.find(key);
+      if (it == flags_.end()) {
+        error_ = "unknown flag --" + key;
+        return false;
+      }
+      const bool is_bool =
+          it->second.default_value == "true" || it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + key + " needs a value";
+        return false;
+      }
+    }
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + key;
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Options::str(const std::string& name) const {
+  const auto it = flags_.find(name);
+  OPASS_REQUIRE(it != flags_.end(), "flag not declared");
+  return it->second.value;
+}
+
+std::int64_t Options::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  OPASS_REQUIRE(end && *end == '\0' && !v.empty(), "flag --" + name + " is not an integer");
+  return parsed;
+}
+
+double Options::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  OPASS_REQUIRE(end && *end == '\0' && !v.empty(), "flag --" + name + " is not a number");
+  return parsed;
+}
+
+bool Options::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  OPASS_REQUIRE(false, "flag --" + name + " is not a boolean");
+  return false;  // unreachable
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    os << "  --" << name;
+    for (std::size_t pad = name.size(); pad < 18; ++pad) os << ' ';
+    os << f.help << " (default: " << f.default_value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace opass

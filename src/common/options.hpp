@@ -1,0 +1,51 @@
+// Minimal command-line flag parser for the examples and the CLI driver.
+//
+// Supports --key=value, --key value, and boolean --flag forms, with typed
+// accessors, defaults, and an auto-generated usage string. Unknown flags are
+// an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace opass {
+
+/// Declarative flag set.
+class Options {
+ public:
+  /// Declare a flag with a default value and help text.
+  Options& add(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parse argv; returns false (and fills error()) on unknown flags or
+  /// malformed input. Positional arguments are collected in positional().
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; flags must have been declared.
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text listing every declared flag with default and help.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace opass

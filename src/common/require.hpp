@@ -1,0 +1,41 @@
+// Precondition / invariant checking macros.
+//
+// OPASS_REQUIRE is for caller-facing preconditions (throws std::invalid_argument),
+// OPASS_CHECK is for internal invariants (throws std::logic_error). Both are
+// always on: the library favours loud failure over silent corruption, and none
+// of these checks sit on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace opass::detail {
+
+[[noreturn]] inline void throw_require(const char* cond, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": internal invariant violated: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace opass::detail
+
+#define OPASS_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::opass::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define OPASS_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) ::opass::detail::throw_check(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,15 @@
+// Small string helpers shared by reporting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opass {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace opass

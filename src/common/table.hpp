@@ -1,0 +1,39 @@
+// ASCII table / CSV emission for bench output.
+//
+// Every bench binary prints the rows/series of the paper figure it reproduces;
+// Table renders them aligned for a terminal and can also dump CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opass {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for building rows.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header separator.
+  std::string render(const std::string& title = {}) const;
+
+  /// Render as CSV (no title, headers as the first line).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opass

@@ -1,0 +1,65 @@
+#include "common/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace opass {
+
+Timeline::Timeline(Seconds start, Seconds end, std::size_t lanes, std::size_t columns)
+    : start_(start), end_(end), columns_(columns),
+      rows_(lanes, std::string(columns, ' ')) {
+  OPASS_REQUIRE(end > start, "timeline range must be non-empty");
+  OPASS_REQUIRE(lanes > 0, "timeline needs at least one lane");
+  OPASS_REQUIRE(columns > 0, "timeline needs at least one column");
+}
+
+void Timeline::add(std::size_t lane, Seconds from, Seconds to, char glyph) {
+  OPASS_REQUIRE(lane < rows_.size(), "lane out of range");
+  OPASS_REQUIRE(to >= from, "interval must not be reversed");
+  const double scale = static_cast<double>(columns_) / (end_ - start_);
+  auto col = [&](Seconds t) {
+    return static_cast<std::ptrdiff_t>(std::floor((t - start_) * scale));
+  };
+  std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, col(from));
+  std::ptrdiff_t hi = std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(columns_) - 1,
+                                               col(to));
+  if (lo > hi) return;  // fully clipped
+  for (std::ptrdiff_t c = lo; c <= hi; ++c)
+    rows_[lane][static_cast<std::size_t>(c)] = glyph;
+}
+
+double Timeline::lane_fill(std::size_t lane) const {
+  OPASS_REQUIRE(lane < rows_.size(), "lane out of range");
+  const auto painted = static_cast<double>(
+      columns_ - static_cast<std::size_t>(
+                     std::count(rows_[lane].begin(), rows_[lane].end(), ' ')));
+  return painted / static_cast<double>(columns_);
+}
+
+std::string Timeline::render(const std::vector<std::string>& labels) const {
+  OPASS_REQUIRE(labels.size() == rows_.size(), "one label per lane required");
+  std::size_t width = 0;
+  for (const auto& l : labels) width = std::max(width, l.size());
+
+  std::ostringstream os;
+  for (std::size_t lane = 0; lane < rows_.size(); ++lane) {
+    os << labels[lane];
+    for (std::size_t pad = labels[lane].size(); pad < width; ++pad) os << ' ';
+    os << " |" << rows_[lane] << "|\n";
+  }
+  // Time axis footer.
+  for (std::size_t pad = 0; pad < width; ++pad) os << ' ';
+  char lo[32], hi[32];
+  std::snprintf(lo, sizeof lo, " %.1fs", start_);
+  std::snprintf(hi, sizeof hi, "%.1fs", end_);
+  os << lo;
+  const std::size_t used = std::string(lo).size() - 1;
+  for (std::size_t c = used + std::string(hi).size(); c < columns_ + 2; ++c) os << ' ';
+  os << hi << '\n';
+  return os.str();
+}
+
+}  // namespace opass

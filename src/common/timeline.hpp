@@ -1,0 +1,44 @@
+// ASCII Gantt rendering of per-lane activity intervals.
+//
+// Used to visualize which storage nodes are busy when: the baseline's
+// hot-node convoys and idle tails are immediately visible in a terminal,
+// next to Opass's uniform stripes. Generic over lanes, so it also renders
+// per-process task timelines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace opass {
+
+/// Fixed-resolution interval renderer: lanes x time columns.
+class Timeline {
+ public:
+  /// Time axis [start, end) mapped onto `columns` characters.
+  Timeline(Seconds start, Seconds end, std::size_t lanes, std::size_t columns = 80);
+
+  /// Paint [from, to) on `lane` with `glyph`. Intervals may overlap; later
+  /// calls win. Sub-column intervals still paint one cell, so short events
+  /// remain visible. Out-of-range times are clipped.
+  void add(std::size_t lane, Seconds from, Seconds to, char glyph = '#');
+
+  std::size_t lanes() const { return rows_.size(); }
+  std::size_t columns() const { return columns_; }
+
+  /// Fraction of cells painted on a lane (a crude utilization readout).
+  double lane_fill(std::size_t lane) const;
+
+  /// Render with per-lane labels and a time-axis footer:
+  ///   node-03 |##LLLL   RR   |
+  std::string render(const std::vector<std::string>& labels) const;
+
+ private:
+  Seconds start_, end_;
+  std::size_t columns_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace opass

@@ -1,0 +1,21 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace opass {
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  if (b >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.1f GiB", to_gib(b));
+  } else if (b >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", to_mib(b));
+  } else if (b >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(b) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace opass

@@ -1,0 +1,128 @@
+// libhdfs-compatible C-style API over the simulated file system.
+//
+// The paper's applications access HDFS through libhdfs ("include hdfs.h and
+// use Hadoop C/C++ API (libhdfs.so). The I/O interface, like hdfsread and
+// hdfswrite, will be used to read/write data"), and Opass itself consumes
+// the layout query (hdfsGetHosts / getFileBlockLocations). This header
+// mirrors the libhdfs surface — connect, open/read/write/seek, path info,
+// listing, delete, and the block-location query — so code written against
+// libhdfs ports to the simulator with a namespace change.
+//
+// Semantics notes:
+//  - Files written through this API carry real bytes (kept in the
+//    FileSystem's content store and placed chunk-by-chunk at close);
+//    metadata-only files created directly on the NameNode read back a
+//    deterministic per-chunk pattern, so reads are always meaningful.
+//  - This layer is synchronous metadata + content plumbing; timing lives in
+//    sim::Cluster. Use hdfsGetHosts + the executor to simulate I/O cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "dfs/replica_choice.hpp"
+
+namespace opass::hdfs {
+
+using tSize = std::int32_t;    ///< libhdfs read/write size type
+using tOffset = std::int64_t;  ///< libhdfs offset type
+
+/// Open-mode flags (subset of fcntl.h used by libhdfs).
+inline constexpr int O_RDONLY_ = 0;
+inline constexpr int O_WRONLY_ = 1;
+
+struct FileSystemImpl;
+struct FileImpl;
+
+/// Opaque handles, as in hdfs.h.
+using hdfsFS = FileSystemImpl*;
+using hdfsFile = FileImpl*;
+
+/// Per-path metadata (mirrors hdfsFileInfo).
+struct hdfsFileInfo {
+  std::string name;
+  Bytes size = 0;
+  Bytes block_size = 0;
+  std::uint32_t replication = 0;
+};
+
+/// Connect to the "cluster": binds the API to a NameNode and the node the
+/// client runs on (kInvalidNode = external client). The placement policy is
+/// used for files written through this API; replica_choice for reads.
+hdfsFS hdfsConnect(dfs::NameNode* nn, dfs::NodeId local_node,
+                   dfs::PlacementKind placement = dfs::PlacementKind::kRandom,
+                   dfs::ReplicaChoice replica_choice = dfs::ReplicaChoice::kRandom,
+                   std::uint64_t seed = 0x0ba55);
+
+/// Disconnect and free the handle. Open files must be closed first.
+void hdfsDisconnect(hdfsFS fs);
+
+/// Open for reading (path must exist) or writing (path must not exist).
+/// Returns nullptr on failure, as libhdfs does.
+hdfsFile hdfsOpenFile(hdfsFS fs, const std::string& path, int flags);
+
+/// Close; for write handles this commits the file to the NameNode (chunking
+/// + placement). Returns 0 on success, -1 on failure.
+int hdfsCloseFile(hdfsFS fs, hdfsFile file);
+
+/// Sequential read into buffer; returns bytes read (0 at EOF), -1 on error.
+tSize hdfsRead(hdfsFS fs, hdfsFile file, void* buffer, tSize length);
+
+/// Positional read (does not move the cursor).
+tSize hdfsPread(hdfsFS fs, hdfsFile file, tOffset position, void* buffer, tSize length);
+
+/// Append to a write handle; returns bytes written or -1.
+tSize hdfsWrite(hdfsFS fs, hdfsFile file, const void* buffer, tSize length);
+
+/// Seek a read handle; returns 0 or -1.
+int hdfsSeek(hdfsFS fs, hdfsFile file, tOffset pos);
+
+/// Current cursor position, or -1.
+tOffset hdfsTell(hdfsFS fs, hdfsFile file);
+
+/// Bytes left after the cursor, or -1.
+tOffset hdfsAvailable(hdfsFS fs, hdfsFile file);
+
+/// 0 if the path exists, -1 otherwise (libhdfs convention).
+int hdfsExists(hdfsFS fs, const std::string& path);
+
+/// Delete a path. Returns 0 or -1.
+int hdfsDelete(hdfsFS fs, const std::string& path);
+
+/// Rename a path; fails if the source is missing or the target exists.
+/// Returns 0 or -1.
+int hdfsRename(hdfsFS fs, const std::string& old_path, const std::string& new_path);
+
+/// Metadata for one path.
+std::optional<hdfsFileInfo> hdfsGetPathInfo(hdfsFS fs, const std::string& path);
+
+/// All paths under a prefix ("directory" listing).
+std::vector<hdfsFileInfo> hdfsListDirectory(hdfsFS fs, const std::string& prefix);
+
+/// THE layout query Opass is built on: for each block overlapping
+/// [start, start+length), the nodes holding a replica. Mirrors
+/// hdfsGetHosts / FileSystem::getFileBlockLocations.
+std::vector<std::vector<dfs::NodeId>> hdfsGetHosts(hdfsFS fs, const std::string& path,
+                                                   tOffset start, tOffset length);
+
+/// Default block size of the file system.
+Bytes hdfsGetDefaultBlockSize(hdfsFS fs);
+
+/// Total bytes stored (replicas included) / total logical file bytes.
+Bytes hdfsGetUsed(hdfsFS fs);
+
+/// Node the read path would serve a given block from, honouring local
+/// preference and the connect-time replica-choice policy. Exposed so
+/// simulations can account the transfer on the right resources.
+dfs::NodeId hdfsPickServer(hdfsFS fs, dfs::ChunkId chunk);
+
+/// Deterministic content byte for metadata-only files: what hdfsRead
+/// returns at (chunk, offset) when no real bytes were written.
+std::uint8_t synthetic_byte(dfs::ChunkId chunk, Bytes offset_in_chunk);
+
+}  // namespace opass::hdfs

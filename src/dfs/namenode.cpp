@@ -1,0 +1,238 @@
+#include "dfs/namenode.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace opass::dfs {
+
+NameNode::NameNode(Topology topo, std::uint32_t replication, Bytes chunk_size)
+    : topo_(std::move(topo)),
+      replication_(replication),
+      chunk_size_(chunk_size),
+      node_chunks_(topo_.node_count()),
+      decommissioned_(topo_.node_count(), 0) {
+  OPASS_REQUIRE(replication_ > 0, "replication factor must be positive");
+  OPASS_REQUIRE(replication_ <= topo_.node_count(),
+                "replication factor exceeds cluster size");
+  OPASS_REQUIRE(chunk_size_ > 0, "chunk size must be positive");
+}
+
+FileId NameNode::create_file(const std::string& name, Bytes size, PlacementPolicy& policy,
+                             Rng& rng, NodeId writer) {
+  OPASS_REQUIRE(size > 0, "cannot create an empty file");
+  OPASS_REQUIRE(!exists(name), "a file with this name already exists");
+  const auto fid = static_cast<FileId>(files_.size());
+  FileInfo fi;
+  fi.id = fid;
+  fi.name = name;
+  fi.size = size;
+
+  Bytes remaining = size;
+  std::uint32_t index = 0;
+  while (remaining > 0) {
+    const Bytes csize = std::min(remaining, chunk_size_);
+    const auto cid = static_cast<ChunkId>(chunks_.size());
+    ChunkInfo ci;
+    ci.id = cid;
+    ci.file = fid;
+    ci.index_in_file = index++;
+    ci.size = csize;
+    chunks_.push_back(ci);
+
+    auto replicas = policy.place(topo_, writer, replication_, rng);
+    OPASS_CHECK(replicas.size() == replication_, "policy returned wrong replica count");
+    std::unordered_set<NodeId> distinct(replicas.begin(), replicas.end());
+    OPASS_CHECK(distinct.size() == replicas.size(), "policy returned duplicate replicas");
+    for (NodeId n : replicas) {
+      OPASS_CHECK(n < topo_.node_count(), "policy returned node out of range");
+      add_replica(cid, n);
+    }
+
+    fi.chunks.push_back(cid);
+    remaining -= csize;
+  }
+  files_.push_back(std::move(fi));
+  file_deleted_.push_back(0);
+  by_name_.emplace(name, fid);
+  return fid;
+}
+
+FileId NameNode::find_file(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidFile : it->second;
+}
+
+std::vector<FileId> NameNode::list_prefix(const std::string& prefix) const {
+  std::vector<FileId> out;
+  for (const auto& f : files_) {
+    if (file_deleted_[f.id]) continue;
+    if (f.name.compare(0, prefix.size(), prefix) == 0) out.push_back(f.id);
+  }
+  return out;
+}
+
+void NameNode::delete_file(FileId id) {
+  OPASS_REQUIRE(id < files_.size(), "file id out of range");
+  OPASS_REQUIRE(!file_deleted_[id], "file already deleted");
+  for (ChunkId c : files_[id].chunks) {
+    // Drop every replica; the chunk id stays allocated as a tombstone.
+    const auto replicas = chunks_[c].replicas;  // copy: remove_replica mutates
+    for (NodeId n : replicas) remove_replica(c, n);
+  }
+  by_name_.erase(files_[id].name);
+  file_deleted_[id] = 1;
+}
+
+void NameNode::rename_file(FileId id, const std::string& new_name) {
+  OPASS_REQUIRE(id < files_.size(), "file id out of range");
+  OPASS_REQUIRE(!file_deleted_[id], "cannot rename a deleted file");
+  OPASS_REQUIRE(!exists(new_name), "a file with the new name already exists");
+  by_name_.erase(files_[id].name);
+  files_[id].name = new_name;
+  by_name_.emplace(new_name, id);
+}
+
+bool NameNode::is_deleted(FileId id) const {
+  OPASS_REQUIRE(id < files_.size(), "file id out of range");
+  return file_deleted_[id] != 0;
+}
+
+const FileInfo& NameNode::file(FileId id) const {
+  OPASS_REQUIRE(id < files_.size(), "file id out of range");
+  return files_[id];
+}
+
+const ChunkInfo& NameNode::chunk(ChunkId id) const {
+  OPASS_REQUIRE(id < chunks_.size(), "chunk id out of range");
+  return chunks_[id];
+}
+
+const std::vector<ChunkId>& NameNode::chunks_on_node(NodeId node) const {
+  OPASS_REQUIRE(node < node_chunks_.size(), "node out of range");
+  return node_chunks_[node];
+}
+
+std::vector<std::uint32_t> NameNode::node_chunk_counts() const {
+  std::vector<std::uint32_t> counts(topo_.node_count(), 0);
+  for (NodeId n = 0; n < topo_.node_count(); ++n)
+    counts[n] = static_cast<std::uint32_t>(node_chunks_[n].size());
+  return counts;
+}
+
+std::vector<Bytes> NameNode::node_bytes() const {
+  std::vector<Bytes> bytes(topo_.node_count(), 0);
+  for (NodeId n = 0; n < topo_.node_count(); ++n)
+    for (ChunkId c : node_chunks_[n]) bytes[n] += chunks_[c].size;
+  return bytes;
+}
+
+Bytes NameNode::total_file_bytes() const {
+  Bytes total = 0;
+  for (const auto& f : files_)
+    if (!file_deleted_[f.id]) total += f.size;
+  return total;
+}
+
+NodeId NameNode::add_node(RackId rack) {
+  const NodeId id = topo_.add_node(rack);
+  node_chunks_.emplace_back();
+  decommissioned_.push_back(0);
+  return id;
+}
+
+void NameNode::decommission_node(NodeId node, Rng& rng) {
+  OPASS_REQUIRE(node < topo_.node_count(), "node out of range");
+  OPASS_REQUIRE(!decommissioned_[node], "node already decommissioned");
+  decommissioned_[node] = 1;
+
+  // Collect alive nodes once.
+  std::vector<NodeId> alive;
+  for (NodeId n = 0; n < topo_.node_count(); ++n)
+    if (!decommissioned_[n]) alive.push_back(n);
+  OPASS_REQUIRE(alive.size() >= replication_,
+                "not enough alive nodes to maintain replication");
+
+  const std::vector<ChunkId> to_move = node_chunks_[node];  // copy: we mutate the index
+  for (ChunkId c : to_move) {
+    remove_replica(c, node);
+    // Re-replicate on a random alive node that lacks the chunk.
+    std::vector<NodeId> candidates;
+    for (NodeId n : alive)
+      if (!chunks_[c].has_replica_on(n)) candidates.push_back(n);
+    OPASS_CHECK(!candidates.empty(), "no candidate node for re-replication");
+    add_replica(c, candidates[rng.uniform(candidates.size())]);
+  }
+}
+
+bool NameNode::is_decommissioned(NodeId node) const {
+  OPASS_REQUIRE(node < decommissioned_.size(), "node out of range");
+  return decommissioned_[node] != 0;
+}
+
+std::uint32_t NameNode::balance(Rng& rng, std::uint32_t tolerance) {
+  std::uint32_t moves = 0;
+  for (;;) {
+    // Find most- and least-loaded alive nodes by replica count.
+    NodeId hi = kInvalidNode, lo = kInvalidNode;
+    for (NodeId n = 0; n < topo_.node_count(); ++n) {
+      if (decommissioned_[n]) continue;
+      if (hi == kInvalidNode || node_chunks_[n].size() > node_chunks_[hi].size()) hi = n;
+      if (lo == kInvalidNode || node_chunks_[n].size() < node_chunks_[lo].size()) lo = n;
+    }
+    if (hi == kInvalidNode || lo == kInvalidNode) break;
+    if (node_chunks_[hi].size() <= node_chunks_[lo].size() + tolerance) break;
+
+    // Move one replica hi -> lo; pick a random movable chunk.
+    std::vector<ChunkId> movable;
+    for (ChunkId c : node_chunks_[hi])
+      if (!chunks_[c].has_replica_on(lo)) movable.push_back(c);
+    if (movable.empty()) break;  // everything on hi already replicated on lo
+    const ChunkId c = movable[rng.uniform(movable.size())];
+    remove_replica(c, hi);
+    add_replica(c, lo);
+    ++moves;
+  }
+  return moves;
+}
+
+void NameNode::check_invariants() const {
+  std::size_t live_chunks = 0;
+  for (const auto& c : chunks_) {
+    if (file_deleted_[c.file]) {
+      OPASS_CHECK(c.replicas.empty(), "deleted file still holds replicas");
+      continue;
+    }
+    ++live_chunks;
+    OPASS_CHECK(c.replicas.size() == replication_, "chunk replica count drifted");
+    std::unordered_set<NodeId> distinct(c.replicas.begin(), c.replicas.end());
+    OPASS_CHECK(distinct.size() == c.replicas.size(), "duplicate replica nodes");
+    for (NodeId n : c.replicas) {
+      const auto& inv = node_chunks_.at(n);
+      OPASS_CHECK(std::find(inv.begin(), inv.end(), c.id) != inv.end(),
+                  "node inventory missing a replica");
+    }
+  }
+  std::size_t indexed = 0;
+  for (const auto& inv : node_chunks_) indexed += inv.size();
+  OPASS_CHECK(indexed == live_chunks * replication_, "inventory size mismatch");
+}
+
+void NameNode::add_replica(ChunkId chunk, NodeId node) {
+  chunks_[chunk].replicas.push_back(node);
+  node_chunks_[node].push_back(chunk);
+}
+
+void NameNode::remove_replica(ChunkId chunk, NodeId node) {
+  auto& reps = chunks_[chunk].replicas;
+  auto it = std::find(reps.begin(), reps.end(), node);
+  OPASS_CHECK(it != reps.end(), "removing a replica that does not exist");
+  reps.erase(it);
+  auto& inv = node_chunks_[node];
+  auto it2 = std::find(inv.begin(), inv.end(), chunk);
+  OPASS_CHECK(it2 != inv.end(), "node inventory missing replica being removed");
+  inv.erase(it2);
+}
+
+}  // namespace opass::dfs

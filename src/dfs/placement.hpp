@@ -1,0 +1,72 @@
+// Replica placement policies.
+//
+// The paper's analysis assumes HDFS's effectively random distribution ("data
+// are randomly distributed within HDFS"); kRandom reproduces that. The
+// classic HDFS writer-local + rack-aware pipeline and a round-robin balancer
+// policy are provided for ablations (bench/ablation_policies): Opass's gain
+// shrinks as placement gets more even, exactly as Section IV-B discusses for
+// full matchings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/topology.hpp"
+#include "dfs/types.hpp"
+
+namespace opass::dfs {
+
+/// Strategy interface: pick `replication` distinct DataNodes for a new chunk.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Choose replica nodes. `writer` is the node issuing the write, or
+  /// kInvalidNode for an external client. Must return `replication` distinct
+  /// valid node ids; callers validate via OPASS checks in the NameNode.
+  virtual std::vector<NodeId> place(const Topology& topo, NodeId writer,
+                                    std::uint32_t replication, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// r distinct nodes drawn uniformly at random — the model the paper analyzes.
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const Topology& topo, NodeId writer, std::uint32_t replication,
+                            Rng& rng) override;
+  std::string name() const override { return "random"; }
+};
+
+/// Classic HDFS default: replica 1 on the writer (or a random node for an
+/// external client), replica 2 on a different rack, replica 3 on the same
+/// rack as replica 2 but a different node; extras random. On a single-rack
+/// topology the rack constraints degenerate to "distinct random nodes".
+class HdfsDefaultPlacement final : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const Topology& topo, NodeId writer, std::uint32_t replication,
+                            Rng& rng) override;
+  std::string name() const override { return "hdfs-default"; }
+};
+
+/// Perfectly even placement: replicas assigned round-robin over nodes. Gives
+/// Opass a guaranteed full matching — the idealized upper bound.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const Topology& topo, NodeId writer, std::uint32_t replication,
+                            Rng& rng) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// Named policy selection for configs and CLI flags.
+enum class PlacementKind { kRandom, kHdfsDefault, kRoundRobin };
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
+const char* placement_kind_name(PlacementKind kind);
+
+}  // namespace opass::dfs

@@ -1,0 +1,43 @@
+#include "dfs/replica_choice.hpp"
+
+#include "common/require.hpp"
+
+namespace opass::dfs {
+
+const char* replica_choice_name(ReplicaChoice c) {
+  switch (c) {
+    case ReplicaChoice::kRandom:
+      return "random";
+    case ReplicaChoice::kFirst:
+      return "first";
+    case ReplicaChoice::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+NodeId choose_serving_node(const ChunkInfo& chunk, NodeId reader,
+                           const std::vector<std::uint32_t>& node_load, ReplicaChoice policy,
+                           Rng& rng) {
+  OPASS_REQUIRE(!chunk.replicas.empty(), "chunk has no replicas");
+  if (chunk.has_replica_on(reader)) return reader;
+
+  switch (policy) {
+    case ReplicaChoice::kRandom:
+      return chunk.replicas[rng.uniform(chunk.replicas.size())];
+    case ReplicaChoice::kFirst:
+      return chunk.replicas.front();
+    case ReplicaChoice::kLeastLoaded: {
+      NodeId best = chunk.replicas.front();
+      for (NodeId n : chunk.replicas) {
+        const std::uint32_t load_n = n < node_load.size() ? node_load[n] : 0;
+        const std::uint32_t load_b = best < node_load.size() ? node_load[best] : 0;
+        if (load_n < load_b) best = n;
+      }
+      return best;
+    }
+  }
+  OPASS_CHECK(false, "unknown replica choice policy");
+}
+
+}  // namespace opass::dfs

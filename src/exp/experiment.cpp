@@ -1,0 +1,244 @@
+#include "exp/experiment.hpp"
+
+#include "common/require.hpp"
+#include "dfs/topology.hpp"
+#include "opass/opass.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace opass::exp {
+
+namespace {
+
+/// Derived deterministic RNG streams so placement is identical across
+/// methods while assignment/execution noise stays independent.
+struct Streams {
+  Rng placement, assign, exec;
+  explicit Streams(std::uint64_t seed)
+      : placement(seed * 2654435761ULL + 1),
+        assign(seed * 2654435761ULL + 2),
+        exec(seed * 2654435761ULL + 3) {}
+};
+
+dfs::NameNode make_namenode(const ExperimentConfig& cfg) {
+  return dfs::NameNode(dfs::Topology::single_rack(cfg.nodes), cfg.replication,
+                       cfg.chunk_size);
+}
+
+RunOutput reduce(const dfs::NameNode& nn, const std::vector<runtime::Task>& tasks,
+                 const runtime::ExecutionResult& exec, const core::ProcessPlacement& placement,
+                 const runtime::Assignment* assignment) {
+  RunOutput out;
+  out.io = summarize(exec.trace.io_times());
+  out.io_times = exec.trace.io_times_by_issue();
+  for (Bytes b : exec.trace.bytes_served_per_node(nn.node_count()))
+    out.served_mb.push_back(to_mib(b));
+  out.local_fraction = exec.trace.local_fraction();
+  out.makespan = exec.makespan;
+  out.tasks_executed = exec.tasks_executed;
+  if (assignment) {
+    out.planned_local_fraction =
+        core::evaluate_assignment(nn, tasks, *assignment, placement).local_fraction();
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* method_name(Method m) {
+  return m == Method::kBaseline ? "baseline" : "opass";
+}
+
+RunOutput run_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count,
+                          Method method) {
+  Streams streams(cfg.seed);
+  auto nn = make_namenode(cfg);
+  auto policy = dfs::make_placement(cfg.placement);
+  auto tasks = workload::make_single_data_workload(nn, chunk_count, *policy, streams.placement);
+  const auto placement =
+      core::one_process_per_node(nn, cfg.nodes * cfg.processes_per_node);
+
+  runtime::Assignment assignment;
+  if (method == Method::kBaseline) {
+    assignment = runtime::rank_interval_assignment(static_cast<std::uint32_t>(tasks.size()),
+                                                   static_cast<std::uint32_t>(placement.size()));
+  } else {
+    assignment = core::assign_single_data(nn, tasks, placement, streams.assign).assignment;
+  }
+
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::StaticAssignmentSource source(assignment);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+  ec.process_count = static_cast<std::uint32_t>(placement.size());
+  const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+  return reduce(nn, tasks, exec, placement, &assignment);
+}
+
+RunOutput run_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
+                         const workload::MultiInputSpec& spec) {
+  Streams streams(cfg.seed);
+  auto nn = make_namenode(cfg);
+  auto policy = dfs::make_placement(cfg.placement);
+  auto tasks = workload::make_multi_input_workload(nn, task_count, *policy, streams.placement,
+                                                   spec);
+  const auto placement =
+      core::one_process_per_node(nn, cfg.nodes * cfg.processes_per_node);
+
+  runtime::Assignment assignment;
+  if (method == Method::kBaseline) {
+    assignment = runtime::rank_interval_assignment(task_count,
+                                                   static_cast<std::uint32_t>(placement.size()));
+  } else {
+    assignment = core::assign_multi_data(nn, tasks, placement).assignment;
+  }
+
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::StaticAssignmentSource source(assignment);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+  ec.process_count = static_cast<std::uint32_t>(placement.size());
+  const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+  return reduce(nn, tasks, exec, placement, &assignment);
+}
+
+RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
+                      const workload::GenomicsSpec& spec) {
+  Streams streams(cfg.seed);
+  auto nn = make_namenode(cfg);
+  auto policy = dfs::make_placement(cfg.placement);
+  workload::GenomicsSpec s = spec;
+  s.partition_count = task_count;
+  auto tasks = workload::make_genomics_workload(nn, *policy, streams.placement, s);
+  const auto placement =
+      core::one_process_per_node(nn, cfg.nodes * cfg.processes_per_node);
+
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+  ec.process_count = static_cast<std::uint32_t>(placement.size());
+
+  if (method == Method::kBaseline) {
+    runtime::MasterWorkerSource source(task_count, streams.assign, /*shuffle=*/true);
+    const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+    return reduce(nn, tasks, exec, placement, nullptr);
+  }
+  // Opass: the matching-based guideline A*, consumed by the Section IV-D
+  // master (own list first, then best-co-located steal from longest list).
+  auto plan = core::assign_single_data(nn, tasks, placement, streams.assign);
+  core::OpassDynamicSource source(plan.assignment, nn, tasks, placement);
+  const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+  auto out = reduce(nn, tasks, exec, placement, &plan.assignment);
+  return out;
+}
+
+ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
+                            const workload::ParaViewSpec& spec) {
+  Streams streams(cfg.seed);
+  auto nn = make_namenode(cfg);
+  auto policy = dfs::make_placement(cfg.placement);
+  auto wl = workload::make_paraview_workload(nn, *policy, streams.placement, spec);
+  const auto placement = core::one_process_per_node(nn);
+  const auto m = static_cast<std::uint32_t>(placement.size());
+
+  ParaViewOutput out;
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+
+  sim::TraceRecorder all_trace;
+  Bytes planned_total = 0, planned_local = 0;
+
+  for (const auto& step : wl.steps) {
+    // Tasks of this rendering step, renumbered densely for the assigners.
+    std::vector<runtime::Task> step_tasks;
+    step_tasks.reserve(step.size());
+    for (runtime::TaskId t : step) {
+      runtime::Task copy = wl.tasks[t];
+      copy.id = static_cast<runtime::TaskId>(step_tasks.size());
+      step_tasks.push_back(std::move(copy));
+    }
+
+    runtime::Assignment assignment;
+    if (method == Method::kBaseline) {
+      assignment = runtime::rank_interval_assignment(
+          static_cast<std::uint32_t>(step_tasks.size()), m);
+    } else {
+      // Opass inside ReadXMLData(): assign this step's pieces by matching.
+      assignment = core::assign_single_data(nn, step_tasks, placement, streams.assign)
+                       .assignment;
+    }
+    const auto stats = core::evaluate_assignment(nn, step_tasks, assignment, placement);
+    planned_total += stats.total_bytes;
+    planned_local += stats.local_bytes;
+
+    const Seconds step_start = cluster.simulator().now();
+    runtime::StaticAssignmentSource source(assignment);
+    auto exec = runtime::execute(cluster, nn, step_tasks, source, streams.exec, ec);
+    out.step_times.push_back(exec.makespan - step_start);
+    for (const auto& rec : exec.trace.records()) all_trace.add(rec);
+  }
+
+  for (Seconds t : out.step_times) out.total_time += t;
+  out.run.io = summarize(all_trace.io_times());
+  out.run.io_times = all_trace.io_times_by_issue();
+  for (Bytes b : all_trace.bytes_served_per_node(nn.node_count()))
+    out.run.served_mb.push_back(to_mib(b));
+  out.run.local_fraction = all_trace.local_fraction();
+  out.run.makespan = out.total_time;
+  out.run.tasks_executed = static_cast<std::uint32_t>(all_trace.size());
+  out.run.planned_local_fraction =
+      planned_total ? static_cast<double>(planned_local) / static_cast<double>(planned_total)
+                    : 0.0;
+  return out;
+}
+
+IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_count,
+                              std::uint32_t epochs, Method method,
+                              Seconds compute_per_task) {
+  OPASS_REQUIRE(epochs > 0, "need at least one epoch");
+  Streams streams(cfg.seed);
+  auto nn = make_namenode(cfg);
+  auto policy = dfs::make_placement(cfg.placement);
+  auto tasks = workload::make_single_data_workload(nn, chunk_count, *policy,
+                                                   streams.placement, compute_per_task);
+  const auto placement = core::one_process_per_node(nn);
+
+  // The assignment is computed once, before the first epoch — for Opass this
+  // is where the matching overhead is amortized across every epoch.
+  runtime::Assignment assignment;
+  if (method == Method::kBaseline) {
+    assignment = runtime::rank_interval_assignment(static_cast<std::uint32_t>(tasks.size()),
+                                                   static_cast<std::uint32_t>(placement.size()));
+  } else {
+    assignment = core::assign_single_data(nn, tasks, placement, streams.assign).assignment;
+  }
+
+  IterativeOutput out;
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+  sim::TraceRecorder all_trace;
+
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    const Seconds epoch_start = cluster.simulator().now();
+    runtime::StaticAssignmentSource source(assignment);
+    const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+    out.epoch_times.push_back(exec.makespan - epoch_start);
+    for (const auto& rec : exec.trace.records()) all_trace.add(rec);
+  }
+  for (Seconds t : out.epoch_times) out.total_time += t;
+
+  out.run.io = summarize(all_trace.io_times());
+  out.run.io_times = all_trace.io_times_by_issue();
+  for (Bytes b : all_trace.bytes_served_per_node(nn.node_count()))
+    out.run.served_mb.push_back(to_mib(b));
+  out.run.local_fraction = all_trace.local_fraction();
+  out.run.makespan = out.total_time;
+  out.run.tasks_executed = static_cast<std::uint32_t>(all_trace.size());
+  out.run.planned_local_fraction =
+      core::evaluate_assignment(nn, tasks, assignment, placement).local_fraction();
+  return out;
+}
+
+}  // namespace opass::exp

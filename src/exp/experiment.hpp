@@ -1,0 +1,103 @@
+// Experiment harness: one call per paper scenario, baseline vs Opass.
+//
+// Every experiment follows the same pipeline the paper uses:
+//   1. stand up an HDFS-model namespace over an m-node cluster and store the
+//      workload's dataset(s) (placement seeded => identical layout for both
+//      methods);
+//   2. compute a task assignment — the scenario's baseline or Opass;
+//   3. replay the parallel execution on the flow-level cluster simulator;
+//   4. reduce the trace to the series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dfs/placement.hpp"
+#include "dfs/replica_choice.hpp"
+#include "runtime/executor.hpp"
+#include "sim/cluster.hpp"
+#include "workload/genomics.hpp"
+#include "workload/multi_input.hpp"
+#include "workload/paraview.hpp"
+
+namespace opass::exp {
+
+/// Assignment method under test.
+enum class Method {
+  kBaseline,  ///< rank-interval static / random-order master–worker
+  kOpass,     ///< matching-based assignment (Sections IV-B/C/D)
+};
+
+const char* method_name(Method m);
+
+/// Shared experiment knobs.
+struct ExperimentConfig {
+  std::uint32_t nodes = 64;
+  std::uint32_t replication = 3;
+  Bytes chunk_size = kDefaultChunkSize;
+  std::uint64_t seed = 42;
+  dfs::PlacementKind placement = dfs::PlacementKind::kRandom;
+  dfs::ReplicaChoice replica_choice = dfs::ReplicaChoice::kRandom;
+  /// Parallel processes per node (Marmot has 2 cores per node; the paper
+  /// runs one process per node, our default).
+  std::uint32_t processes_per_node = 1;
+  sim::ClusterParams cluster;
+};
+
+/// Reduced results of one run.
+struct RunOutput {
+  Summary io;                        ///< per-chunk-read I/O time stats (s)
+  std::vector<double> io_times;      ///< per-op I/O times in issue order (s)
+  std::vector<double> served_mb;     ///< bytes served per node (MiB)
+  double local_fraction = 0;         ///< observed locally served op fraction
+  double planned_local_fraction = 0; ///< assignment-level local byte fraction
+  Seconds makespan = 0;              ///< parallel completion time
+  std::uint32_t tasks_executed = 0;
+};
+
+/// Single-data access (Figs. 7 and 8): `chunk_count` one-chunk tasks, equal
+/// shares per process. Baseline = ParaView rank-interval assignment.
+RunOutput run_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count, Method method);
+
+/// Multi-data access (Figs. 9 and 10): `task_count` tasks with 30/20/10 MB
+/// inputs. Baseline = rank-interval over tasks; Opass = Algorithm 1.
+RunOutput run_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
+                         const workload::MultiInputSpec& spec = {});
+
+/// Dynamic access (Fig. 11): master–worker dispatch over single-input tasks.
+/// Baseline = random-order global queue; Opass = Section IV-D lists+stealing.
+RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
+                      const workload::GenomicsSpec& spec = {});
+
+/// ParaView result: overall trace plus per-step makespans.
+struct ParaViewOutput {
+  RunOutput run;                      ///< aggregated over all steps
+  std::vector<Seconds> step_times;    ///< wall time per rendering step
+  Seconds total_time = 0;             ///< sum of step times (the 167 s vs 98 s)
+};
+
+/// ParaView MultiBlock pipeline (Fig. 12): rendering steps with a barrier
+/// between steps; per-step assignment baseline vs Opass.
+ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
+                            const workload::ParaViewSpec& spec = {});
+
+/// Iterative-analysis result: per-epoch wall times plus the aggregate.
+struct IterativeOutput {
+  RunOutput run;                    ///< aggregated over all epochs
+  std::vector<Seconds> epoch_times; ///< wall time per epoch (barrier to barrier)
+  Seconds total_time = 0;
+};
+
+/// Iterative analysis (the paper's Introduction motivation: "iterative data
+/// analysis, which involves moving data from storage to processes
+/// repeatedly"): the same `chunk_count`-chunk dataset is read in `epochs`
+/// synchronized passes. Opass computes the matching once and replays it each
+/// epoch; the baseline re-reads by rank every epoch, paying the remote and
+/// imbalanced pattern repeatedly.
+IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_count,
+                              std::uint32_t epochs, Method method,
+                              Seconds compute_per_task = 0);
+
+}  // namespace opass::exp

@@ -1,0 +1,26 @@
+#include "exp/results_io.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace opass::exp {
+
+bool maybe_write_csv(const std::string& name, const Table& table) {
+  const char* dir = std::getenv("OPASS_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  OPASS_REQUIRE(name.find('/') == std::string::npos && !name.empty(),
+                "csv name must be a bare file stem");
+
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = std::filesystem::path(dir) / (name + ".csv");
+  std::ofstream out(path, std::ios::trunc);
+  OPASS_REQUIRE(out.good(), "cannot open results file: " + path.string());
+  out << table.csv();
+  OPASS_REQUIRE(out.good(), "failed writing results file: " + path.string());
+  return true;
+}
+
+}  // namespace opass::exp

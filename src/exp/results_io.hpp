@@ -1,0 +1,23 @@
+// Optional CSV dumps of figure series.
+//
+// Every bench binary prints its tables to stdout; when the environment
+// variable OPASS_RESULTS_DIR is set, the same tables are also written as
+// CSV files there (one per figure series), ready for re-plotting:
+//
+//   OPASS_RESULTS_DIR=results ./build/bench/fig07_single_io_times
+//   # -> results/fig07_sweep.csv, results/fig07_trace.csv
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+
+namespace opass::exp {
+
+/// Write `table` as `<OPASS_RESULTS_DIR>/<name>.csv` when the variable is
+/// set; no-op otherwise. Returns true if a file was written. Creates the
+/// directory if needed; throws on I/O failure (a requested dump that fails
+/// should be loud).
+bool maybe_write_csv(const std::string& name, const Table& table);
+
+}  // namespace opass::exp

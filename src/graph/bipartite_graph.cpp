@@ -1,0 +1,43 @@
+#include "graph/bipartite_graph.hpp"
+
+namespace opass::graph {
+
+BipartiteGraph::BipartiteGraph(std::uint32_t left_count, std::uint32_t right_count)
+    : left_count_(left_count),
+      right_count_(right_count),
+      left_adj_(left_count),
+      right_adj_(right_count) {}
+
+void BipartiteGraph::add_edge(std::uint32_t left, std::uint32_t right, Bytes weight) {
+  OPASS_REQUIRE(left < left_count_, "left vertex out of range");
+  OPASS_REQUIRE(right < right_count_, "right vertex out of range");
+  const auto idx = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back({left, right, weight});
+  left_adj_[left].push_back(idx);
+  right_adj_[right].push_back(idx);
+}
+
+const std::vector<std::uint32_t>& BipartiteGraph::left_adjacency(std::uint32_t left) const {
+  OPASS_REQUIRE(left < left_count_, "left vertex out of range");
+  return left_adj_[left];
+}
+
+const std::vector<std::uint32_t>& BipartiteGraph::right_adjacency(std::uint32_t right) const {
+  OPASS_REQUIRE(right < right_count_, "right vertex out of range");
+  return right_adj_[right];
+}
+
+Bytes BipartiteGraph::left_weight(std::uint32_t left) const {
+  Bytes total = 0;
+  for (auto idx : left_adjacency(left)) total += edges_[idx].weight;
+  return total;
+}
+
+std::uint32_t BipartiteGraph::isolated_right_count() const {
+  std::uint32_t n = 0;
+  for (const auto& adj : right_adj_)
+    if (adj.empty()) ++n;
+  return n;
+}
+
+}  // namespace opass::graph

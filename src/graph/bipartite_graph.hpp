@@ -1,0 +1,57 @@
+// Weighted bipartite graph between processes (left) and chunk files / tasks
+// (right). This is the "Bipartite Matching Graph G = (P, F, E)" of paper
+// Section IV-A: an edge (p, f) exists when a replica of f is co-located with
+// process p, weighted by the number of co-located bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace opass::graph {
+
+/// One co-location edge: left vertex (process), right vertex (file/task),
+/// weight in bytes of f's data readable locally by p.
+struct BipartiteEdge {
+  std::uint32_t left;
+  std::uint32_t right;
+  Bytes weight;
+};
+
+/// Adjacency-indexed container for the process↔file co-location graph.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::uint32_t left_count, std::uint32_t right_count);
+
+  std::uint32_t left_count() const { return left_count_; }
+  std::uint32_t right_count() const { return right_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Add an edge; duplicate (left,right) pairs are allowed and treated as
+  /// independent replicas (callers that need uniqueness de-duplicate first).
+  void add_edge(std::uint32_t left, std::uint32_t right, Bytes weight);
+
+  const std::vector<BipartiteEdge>& edges() const { return edges_; }
+
+  /// Edge indices incident to a left/right vertex.
+  const std::vector<std::uint32_t>& left_adjacency(std::uint32_t left) const;
+  const std::vector<std::uint32_t>& right_adjacency(std::uint32_t right) const;
+
+  const BipartiteEdge& edge(std::uint32_t idx) const { return edges_.at(idx); }
+
+  /// Total co-located bytes incident to a left vertex (the paper's d(p_i)).
+  Bytes left_weight(std::uint32_t left) const;
+
+  /// Number of right vertices with no incident edge (files with no co-located
+  /// process — these can never be read locally and must be filled randomly).
+  std::uint32_t isolated_right_count() const;
+
+ private:
+  std::uint32_t left_count_, right_count_;
+  std::vector<BipartiteEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> left_adj_, right_adj_;
+};
+
+}  // namespace opass::graph

@@ -1,0 +1,51 @@
+#include "graph/flow_network.hpp"
+
+namespace opass::graph {
+
+NodeIdx FlowNetwork::add_nodes(NodeIdx count) {
+  const auto first = static_cast<NodeIdx>(adj_.size());
+  adj_.resize(adj_.size() + count);
+  return first;
+}
+
+EdgeIdx FlowNetwork::add_edge(NodeIdx u, NodeIdx v, Cap capacity) {
+  OPASS_REQUIRE(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  OPASS_REQUIRE(capacity >= 0, "edge capacity must be non-negative");
+  const auto fwd = static_cast<EdgeIdx>(to_.size());
+  to_.push_back(v);
+  from_.push_back(u);
+  cap_.push_back(capacity);
+  orig_cap_.push_back(capacity);
+  to_.push_back(u);
+  from_.push_back(v);
+  cap_.push_back(0);
+  orig_cap_.push_back(0);
+  adj_[u].push_back(fwd);
+  adj_[v].push_back(fwd + 1);
+  return fwd / 2;
+}
+
+Cap FlowNetwork::flow(EdgeIdx e) const {
+  OPASS_REQUIRE(e * 2 < to_.size(), "edge index out of range");
+  // Flow on a forward edge equals the residual capacity accumulated on its
+  // reverse half-edge.
+  return cap_[e * 2 + 1];
+}
+
+Cap FlowNetwork::capacity(EdgeIdx e) const {
+  OPASS_REQUIRE(e * 2 < to_.size(), "edge index out of range");
+  return orig_cap_[e * 2];
+}
+
+void FlowNetwork::reset_flow() {
+  for (std::size_t h = 0; h < cap_.size(); ++h) cap_[h] = orig_cap_[h];
+}
+
+void FlowNetwork::push(EdgeIdx half_edge, Cap amount) {
+  OPASS_CHECK(half_edge < cap_.size(), "half edge out of range");
+  OPASS_CHECK(cap_[half_edge] >= amount, "pushing more flow than residual capacity");
+  cap_[half_edge] -= amount;
+  cap_[half_edge ^ 1] += amount;
+}
+
+}  // namespace opass::graph

@@ -1,0 +1,65 @@
+// Residual flow network used by the Opass single-data assigner (the network of
+// paper Fig. 5) and by the max-flow algorithms in max_flow.hpp.
+//
+// Edges are stored as paired forward/reverse entries in a flat arena; the
+// reverse edge of edge e is e ^ 1. Capacities are 64-bit so byte-granularity
+// networks (capacities up to the dataset size) are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace opass::graph {
+
+using NodeIdx = std::uint32_t;
+using EdgeIdx = std::uint32_t;
+using Cap = std::int64_t;
+
+/// Directed flow network with residual edges.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(NodeIdx node_count = 0) : adj_(node_count) {}
+
+  /// Add `count` fresh nodes, returning the index of the first.
+  NodeIdx add_nodes(NodeIdx count = 1);
+
+  NodeIdx node_count() const { return static_cast<NodeIdx>(adj_.size()); }
+
+  /// Number of *forward* edges added via add_edge.
+  std::size_t edge_count() const { return to_.size() / 2; }
+
+  /// Add a directed edge u -> v with the given capacity (>= 0).
+  /// Returns the forward edge index (use with flow()/capacity()).
+  EdgeIdx add_edge(NodeIdx u, NodeIdx v, Cap capacity);
+
+  /// Flow currently routed through forward edge e (set by a max-flow run).
+  Cap flow(EdgeIdx e) const;
+
+  /// Original capacity of forward edge e.
+  Cap capacity(EdgeIdx e) const;
+
+  NodeIdx edge_from(EdgeIdx e) const { return from_[e * 2]; }
+  NodeIdx edge_to(EdgeIdx e) const { return to_[e * 2]; }
+
+  /// Reset all flows to zero (capacities preserved).
+  void reset_flow();
+
+  // --- residual-graph accessors used by the algorithms ---
+  const std::vector<EdgeIdx>& residual_adjacency(NodeIdx u) const { return adj_[u]; }
+  NodeIdx residual_to(EdgeIdx half_edge) const { return to_[half_edge]; }
+  Cap residual_capacity(EdgeIdx half_edge) const { return cap_[half_edge]; }
+  void push(EdgeIdx half_edge, Cap amount);
+
+ private:
+  // Half-edge arrays: entry 2e is the forward direction of logical edge e,
+  // entry 2e+1 the residual reverse.
+  std::vector<NodeIdx> to_;
+  std::vector<NodeIdx> from_;
+  std::vector<Cap> cap_;        // residual capacities
+  std::vector<Cap> orig_cap_;   // original capacities (forward entries only meaningful)
+  std::vector<std::vector<EdgeIdx>> adj_;
+};
+
+}  // namespace opass::graph

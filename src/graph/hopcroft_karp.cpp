@@ -1,0 +1,74 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace opass::graph {
+
+namespace {
+constexpr std::uint32_t kNil = MatchingResult::kUnmatched;
+constexpr std::uint32_t kInfDist = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  const std::uint32_t nl = g.left_count();
+  MatchingResult res;
+  res.match_left.assign(nl, kNil);
+  res.match_right.assign(g.right_count(), kNil);
+
+  std::vector<std::uint32_t> dist(nl);
+
+  // BFS layering over free left vertices; returns true if an augmenting path
+  // to a free right vertex exists.
+  auto bfs = [&]() {
+    std::deque<std::uint32_t> queue;
+    bool found = false;
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      if (res.match_left[l] == kNil) {
+        dist[l] = 0;
+        queue.push_back(l);
+      } else {
+        dist[l] = kInfDist;
+      }
+    }
+    while (!queue.empty()) {
+      const std::uint32_t l = queue.front();
+      queue.pop_front();
+      for (auto ei : g.left_adjacency(l)) {
+        const std::uint32_t r = g.edge(ei).right;
+        const std::uint32_t l2 = res.match_right[r];
+        if (l2 == kNil) {
+          found = true;
+        } else if (dist[l2] == kInfDist) {
+          dist[l2] = dist[l] + 1;
+          queue.push_back(l2);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along the layering.
+  auto dfs = [&](auto&& self, std::uint32_t l) -> bool {
+    for (auto ei : g.left_adjacency(l)) {
+      const std::uint32_t r = g.edge(ei).right;
+      const std::uint32_t l2 = res.match_right[r];
+      if (l2 == kNil || (dist[l2] == dist[l] + 1 && self(self, l2))) {
+        res.match_left[l] = r;
+        res.match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInfDist;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      if (res.match_left[l] == kNil && dfs(dfs, l)) ++res.size;
+    }
+  }
+  return res;
+}
+
+}  // namespace opass::graph

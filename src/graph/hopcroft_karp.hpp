@@ -1,0 +1,31 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching.
+//
+// Used as an independent oracle in tests (a full matching exists iff the flow
+// formulation with unit quotas saturates) and for the "full matching"
+// detectability ablation: the paper defines a *full matching* as one where all
+// needed data is assigned to co-located processes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace opass::graph {
+
+/// Result of a maximum-cardinality matching run.
+struct MatchingResult {
+  /// match_left[l] = matched right vertex, or kUnmatched.
+  std::vector<std::uint32_t> match_left;
+  /// match_right[r] = matched left vertex, or kUnmatched.
+  std::vector<std::uint32_t> match_right;
+  std::uint32_t size = 0;
+
+  static constexpr std::uint32_t kUnmatched = UINT32_MAX;
+};
+
+/// Compute a maximum-cardinality matching (weights ignored) in
+/// O(E * sqrt(V)).
+MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace opass::graph

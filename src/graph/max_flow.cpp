@@ -1,0 +1,144 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace opass::graph {
+
+namespace {
+constexpr Cap kInf = std::numeric_limits<Cap>::max();
+}
+
+Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t) {
+  OPASS_REQUIRE(s < net.node_count() && t < net.node_count(), "s/t out of range");
+  OPASS_REQUIRE(s != t, "source and sink must differ");
+  Cap total = 0;
+  std::vector<EdgeIdx> parent_edge(net.node_count());
+  std::vector<char> visited(net.node_count());
+  for (;;) {
+    // BFS for the shortest augmenting path in the residual graph.
+    std::fill(visited.begin(), visited.end(), 0);
+    std::deque<NodeIdx> queue{s};
+    visited[s] = 1;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const NodeIdx u = queue.front();
+      queue.pop_front();
+      for (EdgeIdx h : net.residual_adjacency(u)) {
+        if (net.residual_capacity(h) <= 0) continue;
+        const NodeIdx v = net.residual_to(h);
+        if (visited[v]) continue;
+        visited[v] = 1;
+        parent_edge[v] = h;
+        if (v == t) {
+          reached = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+    if (!reached) break;
+
+    // Bottleneck along the path, then augment. This is the paper's
+    // "cancellation policy": pushing along a path that uses a reverse edge
+    // un-assigns a task from one process and re-assigns it to another.
+    Cap bottleneck = kInf;
+    for (NodeIdx v = t; v != s;) {
+      const EdgeIdx h = parent_edge[v];
+      bottleneck = std::min(bottleneck, net.residual_capacity(h));
+      v = net.residual_to(h ^ 1);
+    }
+    for (NodeIdx v = t; v != s;) {
+      const EdgeIdx h = parent_edge[v];
+      net.push(h, bottleneck);
+      v = net.residual_to(h ^ 1);
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+namespace {
+
+/// Dinic state: level graph via BFS, then DFS blocking flow with iterator
+/// memoization (the "current arc" optimization).
+class DinicSolver {
+ public:
+  DinicSolver(FlowNetwork& net, NodeIdx s, NodeIdx t)
+      : net_(net), s_(s), t_(t), level_(net.node_count()), it_(net.node_count()) {}
+
+  Cap run() {
+    Cap total = 0;
+    while (build_levels()) {
+      std::fill(it_.begin(), it_.end(), 0);
+      for (;;) {
+        const Cap pushed = augment(s_, kInf);
+        if (pushed == 0) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+ private:
+  bool build_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<NodeIdx> queue{s_};
+    level_[s_] = 0;
+    while (!queue.empty()) {
+      const NodeIdx u = queue.front();
+      queue.pop_front();
+      for (EdgeIdx h : net_.residual_adjacency(u)) {
+        if (net_.residual_capacity(h) <= 0) continue;
+        const NodeIdx v = net_.residual_to(h);
+        if (level_[v] >= 0) continue;
+        level_[v] = level_[u] + 1;
+        queue.push_back(v);
+      }
+    }
+    return level_[t_] >= 0;
+  }
+
+  Cap augment(NodeIdx u, Cap limit) {
+    if (u == t_) return limit;
+    const auto& adj = net_.residual_adjacency(u);
+    for (std::size_t& i = it_[u]; i < adj.size(); ++i) {
+      const EdgeIdx h = adj[i];
+      const NodeIdx v = net_.residual_to(h);
+      if (net_.residual_capacity(h) <= 0 || level_[v] != level_[u] + 1) continue;
+      const Cap pushed = augment(v, std::min(limit, net_.residual_capacity(h)));
+      if (pushed > 0) {
+        net_.push(h, pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  FlowNetwork& net_;
+  NodeIdx s_, t_;
+  std::vector<int> level_;
+  std::vector<std::size_t> it_;
+};
+
+}  // namespace
+
+Cap dinic(FlowNetwork& net, NodeIdx s, NodeIdx t) {
+  OPASS_REQUIRE(s < net.node_count() && t < net.node_count(), "s/t out of range");
+  OPASS_REQUIRE(s != t, "source and sink must differ");
+  return DinicSolver(net, s, t).run();
+}
+
+Cap max_flow(FlowNetwork& net, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo) {
+  switch (algo) {
+    case MaxFlowAlgorithm::kEdmondsKarp:
+      return edmonds_karp(net, s, t);
+    case MaxFlowAlgorithm::kDinic:
+      return dinic(net, s, t);
+  }
+  OPASS_CHECK(false, "unknown max-flow algorithm");
+}
+
+}  // namespace opass::graph

@@ -1,0 +1,30 @@
+// Max-flow algorithms.
+//
+// The paper uses Ford–Fulkerson with BFS augmenting paths (i.e. Edmonds–Karp)
+// to solve the Fig. 5 network; we implement that as the reference algorithm
+// and Dinic as a faster alternative for large clusters (ablated in
+// bench/ablation_policies). Both operate on FlowNetwork in place, leaving the
+// final flow readable via FlowNetwork::flow(edge).
+#pragma once
+
+#include "graph/flow_network.hpp"
+
+namespace opass::graph {
+
+/// Which algorithm solves the network. Results (flow values per edge) may
+/// differ between algorithms, but the total max-flow value is identical.
+enum class MaxFlowAlgorithm {
+  kEdmondsKarp,  ///< BFS Ford–Fulkerson, O(V * E^2); the paper's choice
+  kDinic,        ///< level graph + blocking flows, O(V^2 * E), ~O(E*sqrt(V)) on unit nets
+};
+
+/// Run Edmonds–Karp from s to t; returns the max-flow value.
+Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t);
+
+/// Run Dinic from s to t; returns the max-flow value.
+Cap dinic(FlowNetwork& net, NodeIdx s, NodeIdx t);
+
+/// Dispatch on the algorithm enum.
+Cap max_flow(FlowNetwork& net, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo);
+
+}  // namespace opass::graph

@@ -1,0 +1,144 @@
+// MPI-model communicator over the simulated cluster.
+//
+// The paper's applications are MPI programs (MPICH on Marmot): ParaView data
+// servers synchronize per rendering step, and the mpiBLAST-style scheduler
+// exchanges request/grant messages between a master and its slaves. This
+// module provides the message-passing substrate for those patterns on top of
+// the flow-level simulator: point-to-point send/recv with tag matching, and
+// the collectives the workloads need (barrier, broadcast, gather).
+//
+// The API is continuation-passing — the discrete-event simulator owns the
+// control flow, so "blocking" MPI calls become callbacks fired at the
+// virtual time the operation completes. Semantics follow MPI where it
+// matters here: per (source, destination, tag) ordering is FIFO, receives
+// match by (source, tag) with wildcards, and collectives synchronize all
+// ranks of the communicator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dfs/types.hpp"
+#include "sim/cluster.hpp"
+
+namespace opass::mpi {
+
+using Rank = std::uint32_t;
+using Tag = std::int32_t;
+
+inline constexpr Rank kAnySource = UINT32_MAX;
+inline constexpr Tag kAnyTag = -1;
+
+/// A delivered message. `value` is the modelled payload (task ids, counts);
+/// `bytes` is the simulated wire size that occupied the NICs.
+struct Message {
+  Rank source = 0;
+  Tag tag = 0;
+  Bytes bytes = 0;
+  std::uint64_t value = 0;
+  Seconds sent_at = 0;
+  Seconds delivered_at = 0;
+};
+
+/// Communicator: `size()` ranks pinned to cluster nodes (rank r on node
+/// placement[r]; default one rank per node).
+class Comm {
+ public:
+  /// One rank per cluster node.
+  explicit Comm(sim::Cluster& cluster);
+
+  /// Explicit rank -> node pinning.
+  Comm(sim::Cluster& cluster, std::vector<dfs::NodeId> placement);
+
+  Rank size() const { return static_cast<Rank>(placement_.size()); }
+  dfs::NodeId node_of(Rank r) const;
+
+  /// Asynchronous send; `on_sent` (optional) fires when the message has been
+  /// fully pushed onto the wire (same virtual time it becomes matchable at
+  /// the destination — an eager protocol).
+  void send(Rank from, Rank to, Tag tag, Bytes bytes, std::uint64_t value,
+            std::function<void(Seconds)> on_sent = nullptr);
+
+  /// Post a receive at `at_rank` for (source, tag); wildcards allowed.
+  /// `on_recv(msg)` fires when a matching message is available (immediately
+  /// if one already arrived). Unmatched receives queue in post order.
+  void recv(Rank at_rank, Rank source, Tag tag, std::function<void(Message)> on_recv);
+
+  /// Barrier across all ranks: `on_release(time)` fires per rank once every
+  /// rank has entered. Implemented as a gather-to-0 + broadcast of release
+  /// messages, so it pays realistic latency.
+  void barrier(Rank rank, std::function<void(Seconds)> on_release);
+
+  /// Broadcast `bytes`/`value` from `root` to every other rank along a
+  /// binomial tree; per-rank `on_done(value, time)` fires on delivery (and
+  /// immediately on the root).
+  void bcast(Rank root, Bytes bytes, std::uint64_t value,
+             std::function<void(Rank, std::uint64_t, Seconds)> on_done);
+
+  /// Gather each rank's value at `root`: call contribute() once per rank;
+  /// `on_gathered(values, time)` fires at the root when all have arrived.
+  /// `bytes_per_rank` models each contribution's wire size.
+  void gather(Rank root, Bytes bytes_per_rank,
+              std::function<void(std::vector<std::uint64_t>, Seconds)> on_gathered);
+  void contribute(Rank rank, std::uint64_t value);
+
+  /// Scatter: `root` sends values[i] (wire size `bytes_per_rank`) to rank i;
+  /// per-rank `on_recv(rank, value, time)` fires on delivery (immediately on
+  /// the root for its own element). values.size() must equal size().
+  void scatter(Rank root, Bytes bytes_per_rank, std::vector<std::uint64_t> values,
+               std::function<void(Rank, std::uint64_t, Seconds)> on_recv);
+
+  /// All-reduce of one value per rank with a binary `op` (e.g. plus, max):
+  /// gather-to-0 then broadcast of the reduction. Call allreduce() once,
+  /// then reduce_contribute() once per rank; every rank's `on_done` fires
+  /// with the reduced value.
+  void allreduce(Bytes bytes_per_rank,
+                 std::function<std::uint64_t(std::uint64_t, std::uint64_t)> op,
+                 std::function<void(Rank, std::uint64_t, Seconds)> on_done);
+  void reduce_contribute(Rank rank, std::uint64_t value);
+
+  /// Messages sent so far (observability for tests and overhead accounting).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  Bytes bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct PendingRecv {
+    Rank source;
+    Tag tag;
+    std::function<void(Message)> on_recv;
+  };
+
+  struct Mailbox {
+    std::deque<Message> arrived;
+    std::deque<PendingRecv> waiting;
+  };
+
+  struct GatherState {
+    Rank root = 0;
+    Bytes bytes_per_rank = 0;
+    std::vector<std::optional<std::uint64_t>> values;
+    std::uint32_t received = 0;
+    std::function<void(std::vector<std::uint64_t>, Seconds)> on_gathered;
+    bool active = false;
+  };
+
+  void deliver(Rank to, Message msg);
+  static bool matches(const PendingRecv& r, const Message& m);
+
+  sim::Cluster& cluster_;
+  std::vector<dfs::NodeId> placement_;
+  std::vector<Mailbox> mailboxes_;
+  // Barrier bookkeeping.
+  std::uint32_t barrier_arrived_ = 0;
+  std::vector<std::function<void(Seconds)>> barrier_waiters_;
+  std::uint64_t barrier_generation_ = 0;
+  GatherState gather_;
+  std::uint64_t messages_sent_ = 0;
+  Bytes bytes_sent_ = 0;
+};
+
+}  // namespace opass::mpi

@@ -1,0 +1,36 @@
+#include "opass/assignment_stats.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace opass::core {
+
+AssignmentStats evaluate_assignment(const dfs::NameNode& nn,
+                                    const std::vector<runtime::Task>& tasks,
+                                    const runtime::Assignment& assignment,
+                                    const ProcessPlacement& placement) {
+  OPASS_REQUIRE(assignment.size() == placement.size(),
+                "assignment and placement disagree on process count");
+  AssignmentStats stats;
+  stats.min_tasks_per_process = UINT32_MAX;
+  for (std::uint32_t p = 0; p < assignment.size(); ++p) {
+    const dfs::NodeId node = placement[p];
+    const auto count = static_cast<std::uint32_t>(assignment[p].size());
+    stats.task_count += count;
+    stats.max_tasks_per_process = std::max(stats.max_tasks_per_process, count);
+    stats.min_tasks_per_process = std::min(stats.min_tasks_per_process, count);
+    for (runtime::TaskId t : assignment[p]) {
+      OPASS_REQUIRE(t < tasks.size(), "assignment references unknown task");
+      for (dfs::ChunkId c : tasks[t].inputs) {
+        const auto& chunk = nn.chunk(c);
+        stats.total_bytes += chunk.size;
+        if (chunk.has_replica_on(node)) stats.local_bytes += chunk.size;
+      }
+    }
+  }
+  if (assignment.empty()) stats.min_tasks_per_process = 0;
+  return stats;
+}
+
+}  // namespace opass::core

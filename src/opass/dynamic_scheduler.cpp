@@ -1,0 +1,64 @@
+#include "opass/dynamic_scheduler.hpp"
+
+#include "common/require.hpp"
+
+namespace opass::core {
+
+OpassDynamicSource::OpassDynamicSource(runtime::Assignment guideline, const dfs::NameNode& nn,
+                                       const std::vector<runtime::Task>& tasks,
+                                       ProcessPlacement placement)
+    : nn_(nn), tasks_(tasks), placement_(std::move(placement)) {
+  OPASS_REQUIRE(guideline.size() == placement_.size(),
+                "guideline and placement disagree on process count");
+  lists_.resize(guideline.size());
+  for (std::size_t p = 0; p < guideline.size(); ++p)
+    lists_[p].assign(guideline[p].begin(), guideline[p].end());
+}
+
+Bytes OpassDynamicSource::co_located_bytes(runtime::ProcessId process,
+                                           runtime::TaskId task) const {
+  const dfs::NodeId node = placement_[process];
+  Bytes co = 0;
+  for (dfs::ChunkId c : tasks_[task].inputs)
+    if (nn_.chunk(c).has_replica_on(node)) co += nn_.chunk(c).size;
+  return co;
+}
+
+std::optional<runtime::TaskId> OpassDynamicSource::next_task(runtime::ProcessId process,
+                                                             Seconds /*now*/) {
+  OPASS_REQUIRE(process < lists_.size(), "process out of range");
+
+  // Step 2: own list first.
+  auto& own = lists_[process];
+  if (!own.empty()) {
+    const runtime::TaskId t = own.front();
+    own.pop_front();
+    return t;
+  }
+
+  // Step 3: steal from the longest remaining list, preferring the task with
+  // the most co-located data for the idle process.
+  std::size_t longest = lists_.size();
+  for (std::size_t k = 0; k < lists_.size(); ++k) {
+    if (lists_[k].empty()) continue;
+    if (longest == lists_.size() || lists_[k].size() > lists_[longest].size()) longest = k;
+  }
+  if (longest == lists_.size()) return std::nullopt;  // all drained
+
+  auto& victim = lists_[longest];
+  std::size_t best = 0;
+  Bytes best_bytes = co_located_bytes(process, victim[0]);
+  for (std::size_t i = 1; i < victim.size(); ++i) {
+    const Bytes b = co_located_bytes(process, victim[i]);
+    if (b > best_bytes) {
+      best_bytes = b;
+      best = i;
+    }
+  }
+  const runtime::TaskId t = victim[best];
+  victim.erase(victim.begin() + static_cast<std::ptrdiff_t>(best));
+  ++steals_;
+  return t;
+}
+
+}  // namespace opass::core

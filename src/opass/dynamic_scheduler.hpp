@@ -1,0 +1,50 @@
+// Opass for dynamic parallel data access (paper Section IV-D).
+//
+// For irregular workloads (gene comparison) a master assigns tasks to slaves
+// at run time. Opass precomputes the matching-based assignment A* and uses
+// it as a guideline:
+//
+//  1. before execution, slave i receives the task list L_i from the matcher;
+//  2. an idle slave with a non-empty L_i is handed the next task from L_i;
+//  3. an idle slave with an empty L_i steals from the *longest* remaining
+//     list L_k, taking the task with the largest co-located byte count for
+//     the idle slave.
+//
+// Implemented as a runtime::TaskSource so the executor treats it exactly
+// like any other scheduler.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "dfs/namenode.hpp"
+#include "opass/locality_graph.hpp"
+#include "runtime/task_source.hpp"
+
+namespace opass::core {
+
+/// The Section IV-D scheduler.
+class OpassDynamicSource final : public runtime::TaskSource {
+ public:
+  /// `guideline` is the precomputed A* (one list per process); `tasks`,
+  /// `placement` and `nn` are used to compute co-located sizes for the
+  /// stealing rule.
+  OpassDynamicSource(runtime::Assignment guideline, const dfs::NameNode& nn,
+                     const std::vector<runtime::Task>& tasks, ProcessPlacement placement);
+
+  std::optional<runtime::TaskId> next_task(runtime::ProcessId process, Seconds now) override;
+
+  /// Number of steals performed so far (observability for tests/benches).
+  std::uint32_t steal_count() const { return steals_; }
+
+ private:
+  Bytes co_located_bytes(runtime::ProcessId process, runtime::TaskId task) const;
+
+  std::vector<std::deque<runtime::TaskId>> lists_;
+  const dfs::NameNode& nn_;
+  const std::vector<runtime::Task>& tasks_;
+  ProcessPlacement placement_;
+  std::uint32_t steals_ = 0;
+};
+
+}  // namespace opass::core

@@ -1,0 +1,47 @@
+#include "opass/hdfs_integration.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace opass::core {
+
+HdfsLocalityGraph build_locality_via_hdfs(hdfs::hdfsFS fs,
+                                          const std::vector<std::string>& paths,
+                                          const ProcessPlacement& placement) {
+  OPASS_REQUIRE(!placement.empty(), "need at least one process");
+
+  // Pass 1: enumerate blocks and their hosts via the public API only.
+  HdfsLocalityGraph out;
+  std::vector<std::vector<dfs::NodeId>> hosts_per_block;
+  for (const auto& path : paths) {
+    const auto info = hdfs::hdfsGetPathInfo(fs, path);
+    OPASS_REQUIRE(info.has_value(), "input path does not exist: " + path);
+    const auto hosts = hdfs::hdfsGetHosts(fs, path, 0, static_cast<hdfs::tOffset>(info->size));
+    Bytes remaining = info->size;
+    for (std::uint32_t bi = 0; bi < hosts.size(); ++bi) {
+      HdfsBlockRef ref;
+      ref.path = path;
+      ref.block_index = bi;
+      ref.size = std::min(remaining, info->block_size);
+      remaining -= ref.size;
+      out.blocks.push_back(std::move(ref));
+      hosts_per_block.push_back(hosts[bi]);
+    }
+  }
+
+  // Pass 2: the co-location edges.
+  out.graph = graph::BipartiteGraph(static_cast<std::uint32_t>(placement.size()),
+                                    static_cast<std::uint32_t>(out.blocks.size()));
+  for (std::uint32_t p = 0; p < placement.size(); ++p) {
+    for (std::uint32_t b = 0; b < out.blocks.size(); ++b) {
+      const auto& hosts = hosts_per_block[b];
+      if (std::find(hosts.begin(), hosts.end(), placement[p]) != hosts.end()) {
+        out.graph.add_edge(p, b, out.blocks[b].size);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace opass::core

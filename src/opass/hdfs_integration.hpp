@@ -1,0 +1,44 @@
+// Building the Opass locality graph through the public libhdfs-style API.
+//
+// On a real deployment Opass cannot touch NameNode internals; it issues the
+// layout query the paper describes ("we retrieve the data layout information
+// from the underlying distributed file system") — hdfsGetHosts /
+// getFileBlockLocations — per input file. This helper does exactly that:
+// everything it learns comes from hdfsGetPathInfo and hdfsGetHosts, so the
+// resulting graph is what a production integration would see.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfs/hdfs_api.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "opass/locality_graph.hpp"
+
+namespace opass::core {
+
+/// Identity of one block discovered through the API.
+struct HdfsBlockRef {
+  std::string path;
+  std::uint32_t block_index = 0;  ///< ordinal within its file
+  Bytes size = 0;
+};
+
+/// Locality graph (processes x blocks) plus the block table giving each
+/// right-hand vertex its (path, index, size) identity.
+struct HdfsLocalityGraph {
+  graph::BipartiteGraph graph;
+  std::vector<HdfsBlockRef> blocks;  ///< index = right vertex id
+
+  HdfsLocalityGraph() : graph(0, 0) {}
+};
+
+/// Query the layout of `paths` (every path must exist) and build the
+/// co-location graph for `placement`. Right-hand vertices are numbered in
+/// (path order, block order) — matching chunk creation order when paths are
+/// given in creation order.
+HdfsLocalityGraph build_locality_via_hdfs(hdfs::hdfsFS fs,
+                                          const std::vector<std::string>& paths,
+                                          const ProcessPlacement& placement);
+
+}  // namespace opass::core

@@ -1,0 +1,97 @@
+#include "opass/incremental.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/flow_network.hpp"
+
+namespace opass::core {
+
+IncrementalPlanner::IncrementalPlanner(const dfs::NameNode& nn, ProcessPlacement placement,
+                                       graph::MaxFlowAlgorithm algorithm)
+    : nn_(nn), placement_(std::move(placement)), algorithm_(algorithm),
+      load_(placement_.size(), 0) {
+  OPASS_REQUIRE(!placement_.empty(), "need at least one process");
+  for (dfs::NodeId node : placement_)
+    OPASS_REQUIRE(node < nn.node_count(), "process placed on unknown node");
+}
+
+BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batch, Rng& rng) {
+  const auto m = static_cast<std::uint32_t>(placement_.size());
+  const auto b = static_cast<std::uint32_t>(batch.size());
+  for (const auto& t : batch)
+    OPASS_REQUIRE(t.inputs.size() == 1, "single-data tasks must have exactly one input");
+
+  BatchPlan plan;
+  plan.assignment.assign(m, {});
+  ++batches_;
+  if (b == 0) return plan;
+
+  // Batch quotas: repeatedly grant one slot to the least cumulatively loaded
+  // process, so cumulative loads stay within one across batches.
+  std::vector<std::uint32_t> quota(m, 0);
+  for (std::uint32_t granted = 0; granted < b; ++granted) {
+    std::uint32_t best = 0;
+    for (std::uint32_t p = 1; p < m; ++p)
+      if (load_[p] + quota[p] < load_[best] + quota[best]) best = p;
+    ++quota[best];
+  }
+
+  // Fig. 5 flow over this batch only, with the batch quotas as capacities.
+  graph::FlowNetwork net;
+  const auto s = net.add_nodes(1);
+  const auto t = net.add_nodes(1);
+  const auto proc0 = net.add_nodes(m);
+  const auto task0 = net.add_nodes(b);
+  for (std::uint32_t p = 0; p < m; ++p)
+    net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quota[p]));
+  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
+  for (std::uint32_t p = 0; p < m; ++p) {
+    for (std::uint32_t i = 0; i < b; ++i) {
+      if (nn_.chunk(batch[i].inputs[0]).has_replica_on(placement_[p])) {
+        pt_edges.push_back({net.add_edge(proc0 + p, task0 + i, 1), {p, i}});
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < b; ++i) net.add_edge(task0 + i, t, 1);
+
+  graph::max_flow(net, s, t, algorithm_);
+
+  std::vector<char> assigned(b, 0);
+  std::vector<std::uint32_t> used(m, 0);
+  for (const auto& [edge, pi] : pt_edges) {
+    if (net.flow(edge) == 1) {
+      const auto [p, i] = pi;
+      plan.assignment[p].push_back(batch[i].id);
+      assigned[i] = 1;
+      ++used[p];
+      ++plan.locally_matched;
+    }
+  }
+
+  // Random fill onto processes with remaining batch quota.
+  std::vector<std::uint32_t> open;
+  for (std::uint32_t p = 0; p < m; ++p)
+    if (used[p] < quota[p]) open.push_back(p);
+  std::vector<std::uint32_t> leftovers;
+  for (std::uint32_t i = 0; i < b; ++i)
+    if (!assigned[i]) leftovers.push_back(i);
+  rng.shuffle(leftovers);
+  for (std::uint32_t i : leftovers) {
+    OPASS_CHECK(!open.empty(), "no process has remaining batch quota");
+    const auto pick = rng.uniform(open.size());
+    const std::uint32_t p = open[pick];
+    plan.assignment[p].push_back(batch[i].id);
+    ++used[p];
+    ++plan.randomly_filled;
+    if (used[p] == quota[p]) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+  }
+
+  for (std::uint32_t p = 0; p < m; ++p) load_[p] += used[p];
+  return plan;
+}
+
+}  // namespace opass::core

@@ -1,0 +1,22 @@
+// Umbrella header for the Opass core library.
+//
+// Typical use:
+//
+//   auto placement = opass::core::one_process_per_node(nn);
+//   auto plan = opass::core::assign_single_data(nn, tasks, placement, rng);
+//   opass::runtime::StaticAssignmentSource source(plan.assignment);
+//   auto result = opass::runtime::execute(cluster, nn, tasks, source, rng);
+//
+// See examples/quickstart.cpp for a complete program.
+#pragma once
+
+#include "opass/assignment_stats.hpp"
+#include "opass/dynamic_scheduler.hpp"
+#include "opass/locality_graph.hpp"
+#include "opass/multi_data.hpp"
+#include "opass/plan_io.hpp"
+#include "opass/hdfs_integration.hpp"
+#include "opass/incremental.hpp"
+#include "opass/rack_aware.hpp"
+#include "opass/single_data.hpp"
+#include "opass/weighted_single_data.hpp"

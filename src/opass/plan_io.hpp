@@ -1,0 +1,41 @@
+// Assignment (plan) serialization.
+//
+// In a deployment the matcher runs once — in the master / job-submission
+// process — and each parallel process receives its task list (the paper's
+// L_i guideline lists). This module gives plans a stable text wire format so
+// they can be broadcast, written next to a job's metadata, or diffed between
+// runs. The format is line-based and versioned:
+//
+//   opass-plan v1
+//   processes 4
+//   tasks 16
+//   p 0 : 0 4 8 12
+//   p 1 : 1 5 9 13
+//   ...
+//
+// Every task id in [0, tasks) must appear exactly once across the process
+// lines; parsing validates this, so a corrupt plan cannot silently drop or
+// duplicate work.
+#pragma once
+
+#include <string>
+
+#include "runtime/static_partitioner.hpp"
+
+namespace opass::core {
+
+/// Render an assignment to the v1 text format. `task_count` is recorded in
+/// the header and validated against the lists.
+std::string serialize_assignment(const runtime::Assignment& assignment,
+                                 std::uint32_t task_count);
+
+/// Parse the v1 text format; throws std::invalid_argument on any malformed
+/// or inconsistent input (bad header, wrong counts, duplicate/missing task).
+runtime::Assignment parse_assignment(const std::string& text);
+
+/// Convenience file wrappers.
+void save_assignment(const std::string& path, const runtime::Assignment& assignment,
+                     std::uint32_t task_count);
+runtime::Assignment load_assignment(const std::string& path);
+
+}  // namespace opass::core

@@ -1,0 +1,127 @@
+#include "opass/rack_aware.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/require.hpp"
+#include "graph/flow_network.hpp"
+#include "opass/single_data.hpp"  // equal_quotas
+
+namespace opass::core {
+
+namespace {
+
+/// One max-flow phase: match `open` tasks to processes with remaining quota
+/// along `has_edge(p, t)`. Updates owner/used; returns the matched count.
+std::uint32_t match_phase(std::uint32_t m, const std::vector<std::uint32_t>& quotas,
+                          std::vector<std::uint32_t>& used,
+                          std::vector<std::uint32_t>& owner,
+                          const std::vector<std::uint32_t>& open,
+                          const std::function<bool(std::uint32_t, std::uint32_t)>& has_edge,
+                          graph::MaxFlowAlgorithm algorithm) {
+  graph::FlowNetwork net;
+  const auto s = net.add_nodes(1);
+  const auto t = net.add_nodes(1);
+  const auto proc0 = net.add_nodes(m);
+  const auto task0 = net.add_nodes(static_cast<graph::NodeIdx>(open.size()));
+  for (std::uint32_t p = 0; p < m; ++p)
+    net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quotas[p] - used[p]));
+
+  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
+  for (std::uint32_t p = 0; p < m; ++p) {
+    for (std::uint32_t oi = 0; oi < open.size(); ++oi) {
+      if (has_edge(p, open[oi])) {
+        pt_edges.push_back({net.add_edge(proc0 + p, task0 + oi, 1), {p, open[oi]}});
+      }
+    }
+  }
+  for (std::uint32_t oi = 0; oi < open.size(); ++oi) net.add_edge(task0 + oi, t, 1);
+
+  graph::max_flow(net, s, t, algorithm);
+
+  std::uint32_t matched = 0;
+  for (const auto& [edge, pt] : pt_edges) {
+    if (net.flow(edge) == 1) {
+      const auto [p, task] = pt;
+      owner[task] = p;
+      ++used[p];
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
+                                            const std::vector<runtime::Task>& tasks,
+                                            const ProcessPlacement& placement, Rng& rng,
+                                            graph::MaxFlowAlgorithm algorithm) {
+  const auto m = static_cast<std::uint32_t>(placement.size());
+  const auto n = static_cast<std::uint32_t>(tasks.size());
+  OPASS_REQUIRE(m > 0, "need at least one process");
+  for (const auto& t : tasks)
+    OPASS_REQUIRE(t.inputs.size() == 1, "single-data tasks must have exactly one input");
+  for (dfs::NodeId node : placement)
+    OPASS_REQUIRE(node < nn.node_count(), "process placed on unknown node");
+
+  const auto quotas = equal_quotas(n, m);
+  const auto& topo = nn.topology();
+
+  std::vector<std::uint32_t> owner(n, UINT32_MAX);
+  std::vector<std::uint32_t> used(m, 0);
+  RackAwarePlan plan;
+
+  // Phase 1: node-local.
+  std::vector<std::uint32_t> open;
+  for (std::uint32_t t = 0; t < n; ++t) open.push_back(t);
+  plan.node_local = match_phase(
+      m, quotas, used, owner, open,
+      [&](std::uint32_t p, std::uint32_t t) {
+        return nn.chunk(tasks[t].inputs[0]).has_replica_on(placement[p]);
+      },
+      algorithm);
+
+  // Phase 2: rack-local over the remainder.
+  open.clear();
+  for (std::uint32_t t = 0; t < n; ++t)
+    if (owner[t] == UINT32_MAX) open.push_back(t);
+  if (!open.empty() && topo.rack_count() > 1) {
+    plan.rack_local = match_phase(
+        m, quotas, used, owner, open,
+        [&](std::uint32_t p, std::uint32_t t) {
+          const auto rack = topo.rack_of(placement[p]);
+          for (dfs::NodeId rep : nn.chunk(tasks[t].inputs[0]).replicas)
+            if (topo.rack_of(rep) == rack) return true;
+          return false;
+        },
+        algorithm);
+  }
+
+  // Phase 3: random fill of the rest.
+  std::vector<std::uint32_t> unmatched;
+  for (std::uint32_t t = 0; t < n; ++t)
+    if (owner[t] == UINT32_MAX) unmatched.push_back(t);
+  rng.shuffle(unmatched);
+  std::vector<std::uint32_t> open_procs;
+  for (std::uint32_t p = 0; p < m; ++p)
+    if (used[p] < quotas[p]) open_procs.push_back(p);
+  for (std::uint32_t t : unmatched) {
+    OPASS_CHECK(!open_procs.empty(), "no process has remaining quota for fill");
+    const auto pick = rng.uniform(open_procs.size());
+    const std::uint32_t p = open_procs[pick];
+    owner[t] = p;
+    ++plan.random_filled;
+    if (++used[p] == quotas[p]) {
+      open_procs[pick] = open_procs.back();
+      open_procs.pop_back();
+    }
+  }
+
+  plan.assignment.assign(m, {});
+  for (std::uint32_t t = 0; t < n; ++t) plan.assignment[owner[t]].push_back(t);
+  for (auto& list : plan.assignment) std::sort(list.begin(), list.end());
+  return plan;
+}
+
+}  // namespace opass::core

@@ -1,0 +1,104 @@
+#include "opass/single_data.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/flow_network.hpp"
+
+namespace opass::core {
+
+std::vector<std::uint32_t> equal_quotas(std::uint32_t task_count, std::uint32_t process_count) {
+  OPASS_REQUIRE(process_count > 0, "need at least one process");
+  std::vector<std::uint32_t> quotas(process_count, task_count / process_count);
+  for (std::uint32_t i = 0; i < task_count % process_count; ++i) ++quotas[i];
+  return quotas;
+}
+
+SingleDataPlan assign_single_data(const dfs::NameNode& nn,
+                                  const std::vector<runtime::Task>& tasks,
+                                  const ProcessPlacement& placement, Rng& rng,
+                                  SingleDataOptions options) {
+  const auto m = static_cast<std::uint32_t>(placement.size());
+  const auto n = static_cast<std::uint32_t>(tasks.size());
+  OPASS_REQUIRE(m > 0, "need at least one process");
+  for (const auto& t : tasks)
+    OPASS_REQUIRE(t.inputs.size() == 1, "single-data tasks must have exactly one input");
+
+  const auto quotas = equal_quotas(n, m);
+
+  // Build the Fig. 5 network: node 0 = s, node 1 = t, then processes, then
+  // tasks.
+  graph::FlowNetwork net;
+  const auto s = net.add_nodes(1);
+  const auto t = net.add_nodes(1);
+  const auto proc0 = net.add_nodes(m);
+  const auto task0 = net.add_nodes(n);
+
+  for (std::uint32_t p = 0; p < m; ++p) net.add_edge(s, proc0 + p, quotas[p]);
+
+  // Process -> task edges where the task's chunk is co-located. Track the
+  // edge ids so flows can be read back into an assignment.
+  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
+  for (std::uint32_t p = 0; p < m; ++p) {
+    const dfs::NodeId node = placement[p];
+    OPASS_REQUIRE(node < nn.node_count(), "process placed on unknown node");
+    for (std::uint32_t ti = 0; ti < n; ++ti) {
+      if (nn.chunk(tasks[ti].inputs[0]).has_replica_on(node)) {
+        pt_edges.push_back({net.add_edge(proc0 + p, task0 + ti, 1), {p, ti}});
+      }
+    }
+  }
+  for (std::uint32_t ti = 0; ti < n; ++ti) net.add_edge(task0 + ti, t, 1);
+
+  const graph::Cap flow = graph::max_flow(net, s, t, options.algorithm);
+  OPASS_CHECK(flow >= 0 && flow <= n, "max-flow value out of range");
+
+  SingleDataPlan plan;
+  plan.assignment.assign(m, {});
+  std::vector<char> task_assigned(n, 0);
+  std::vector<std::uint32_t> used(m, 0);
+  for (const auto& [edge, pt] : pt_edges) {
+    if (net.flow(edge) == 1) {
+      const auto [p, ti] = pt;
+      plan.assignment[p].push_back(ti);
+      task_assigned[ti] = 1;
+      ++used[p];
+      ++plan.locally_matched;
+    }
+  }
+  OPASS_CHECK(plan.locally_matched == static_cast<std::uint32_t>(flow),
+              "flow value disagrees with matched edges");
+
+  // Random fill: unmatched tasks go to randomly chosen processes with
+  // remaining quota ("we randomly assign unmatched tasks to each such
+  // process until all processes are matched to TotalSize/m of data").
+  std::vector<runtime::TaskId> unmatched;
+  for (std::uint32_t ti = 0; ti < n; ++ti)
+    if (!task_assigned[ti]) unmatched.push_back(ti);
+  rng.shuffle(unmatched);
+
+  std::vector<std::uint32_t> open;  // processes below quota
+  for (std::uint32_t p = 0; p < m; ++p)
+    if (used[p] < quotas[p]) open.push_back(p);
+
+  for (runtime::TaskId ti : unmatched) {
+    OPASS_CHECK(!open.empty(), "no process has remaining quota for fill");
+    const auto pick = rng.uniform(open.size());
+    const std::uint32_t p = open[pick];
+    plan.assignment[p].push_back(ti);
+    ++used[p];
+    ++plan.randomly_filled;
+    if (used[p] == quotas[p]) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+  }
+
+  plan.full_matching = plan.randomly_filled == 0 && n > 0;
+
+  // Keep each process's reads in task order for reproducible traces.
+  for (auto& list : plan.assignment) std::sort(list.begin(), list.end());
+  return plan;
+}
+
+}  // namespace opass::core

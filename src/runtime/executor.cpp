@@ -1,0 +1,302 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/require.hpp"
+
+namespace opass::runtime {
+
+namespace {
+
+/// Callback-driven state machine for one job. Lives on the heap for the
+/// duration of the cluster run; all per-process continuations capture a raw
+/// pointer to it, which is safe because execute()/execute_jobs() join before
+/// returning.
+class Driver {
+ public:
+  Driver(sim::Cluster& cluster, const dfs::NameNode& nn, const std::vector<Task>& tasks,
+         TaskSource& source, Rng& rng, const ExecutorConfig& config)
+      : cluster_(cluster), nn_(nn), tasks_(tasks), source_(source), rng_(rng) {
+    const std::uint32_t m = config.process_count ? config.process_count : cluster.node_count();
+    OPASS_REQUIRE(m > 0, "need at least one process");
+    replica_choice_ = config.replica_choice;
+    prefetch_ = config.prefetch;
+    bsp_ = config.barrier_per_task;
+    OPASS_REQUIRE(!(prefetch_ && bsp_), "prefetch and barrier_per_task are exclusive");
+    result_.process_finish_time.assign(m, 0);
+    retired_.assign(m, 0);
+    wave_active_ = m;
+    states_.resize(m);
+    for (ProcessId p = 0; p < m; ++p) {
+      states_[p].node = static_cast<dfs::NodeId>(p % cluster.node_count());
+    }
+  }
+
+  /// Launch all processes at `start_time` (>= now).
+  void launch(Seconds start_time) {
+    if (start_time <= cluster_.simulator().now()) {
+      for (ProcessId p = 0; p < states_.size(); ++p) pull_next_task(p);
+      return;
+    }
+    cluster_.simulator().at(start_time, [this](Seconds) {
+      for (ProcessId p = 0; p < states_.size(); ++p) pull_next_task(p);
+    });
+  }
+
+  /// Collect the result; valid only after the cluster ran to quiescence.
+  ExecutionResult take_result() {
+    result_.makespan = 0;
+    for (Seconds t : result_.process_finish_time)
+      result_.makespan = std::max(result_.makespan, t);
+    return std::move(result_);
+  }
+
+ private:
+  struct ProcState {
+    dfs::NodeId node = 0;
+    TaskId task = kInvalidTask;        ///< task whose inputs are being read
+    std::size_t next_input = 0;
+    // Prefetch mode: the cycle's join counter. A cycle = compute(T) overlapped
+    // with reads(T+1); the cycle advances when both events have fired.
+    TaskId computing = kInvalidTask;   ///< task whose compute is in flight
+    std::uint32_t events_pending = 0;
+  };
+
+  void pull_next_task(ProcessId p) {
+    if (prefetch_) {
+      pull_prefetched(p, /*first=*/true);
+      return;
+    }
+    const Pull r = source_.pull(p, cluster_.simulator().now());
+    switch (r.kind) {
+      case Pull::Kind::kDone:
+        result_.process_finish_time[p] = cluster_.simulator().now();
+        if (bsp_ && !retired_[p]) {
+          retired_[p] = 1;
+          OPASS_CHECK(wave_active_ > 0, "wave accounting underflow");
+          --wave_active_;
+          // If everyone else is already waiting, the shrunken wave releases.
+          if (wave_active_ > 0 && wave_arrived_ == wave_active_) release_wave();
+        }
+        return;
+      case Pull::Kind::kWait:
+        OPASS_REQUIRE(r.retry_after > 0, "wait must carry a positive retry delay");
+        cluster_.simulator().after(r.retry_after,
+                                   [this, p](Seconds) { pull_next_task(p); });
+        return;
+      case Pull::Kind::kTask:
+        break;
+    }
+    OPASS_REQUIRE(r.task < tasks_.size(), "task source returned unknown task");
+    states_[p].task = r.task;
+    states_[p].next_input = 0;
+    ++result_.tasks_executed;
+    read_next_input(p);
+  }
+
+  /// One task fully processed: either pull the next immediately (async) or
+  /// wait at the per-task barrier (BSP).
+  void task_complete(ProcessId p) {
+    if (!bsp_) {
+      pull_next_task(p);
+      return;
+    }
+    ++wave_arrived_;
+    if (wave_arrived_ < wave_active_) return;
+    release_wave();
+  }
+
+  /// Every active process finished its task: everyone pulls the next one.
+  /// Retirements (source drained) shrink the wave.
+  void release_wave() {
+    wave_arrived_ = 0;
+    std::vector<ProcessId> wave;
+    for (ProcessId p = 0; p < states_.size(); ++p)
+      if (!retired_[p]) wave.push_back(p);
+    for (ProcessId p : wave) pull_next_task(p);
+  }
+
+  void read_next_input(ProcessId p) {
+    ProcState& st = states_[p];
+    const Task& task = tasks_[st.task];
+    if (st.next_input >= task.inputs.size()) {
+      if (prefetch_) {
+        // Bootstrap (nothing computing yet) starts the first cycle; reads
+        // finishing inside a cycle are the cycle's second join event.
+        if (st.computing == kInvalidTask) {
+          reads_finished_prefetch(p);
+        } else {
+          cycle_event(p);
+        }
+        return;
+      }
+      // All inputs in memory: spend the compute time, then continue.
+      if (task.compute_time > 0) {
+        cluster_.simulator().after(task.compute_time,
+                                   [this, p](Seconds) { task_complete(p); });
+      } else {
+        task_complete(p);
+      }
+      return;
+    }
+
+    const dfs::ChunkId cid = task.inputs[st.next_input++];
+    issue_read(p, cid);
+  }
+
+  // --- prefetch (depth-1 read-ahead) mode ---
+
+  /// Pull a task and start reading its inputs; `first` bootstraps the
+  /// pipeline (nothing is computing yet). A kDone on a non-first pull fires
+  /// the cycle's reads event (trivially complete); a kWait retries later.
+  void pull_prefetched(ProcessId p, bool first) {
+    ProcState& st = states_[p];
+    const Pull r = source_.pull(p, cluster_.simulator().now());
+    switch (r.kind) {
+      case Pull::Kind::kDone:
+        st.task = kInvalidTask;
+        if (first) {
+          result_.process_finish_time[p] = cluster_.simulator().now();
+        } else {
+          cycle_event(p);
+        }
+        return;
+      case Pull::Kind::kWait:
+        OPASS_REQUIRE(r.retry_after > 0, "wait must carry a positive retry delay");
+        cluster_.simulator().after(
+            r.retry_after, [this, p, first](Seconds) { pull_prefetched(p, first); });
+        return;
+      case Pull::Kind::kTask:
+        break;
+    }
+    OPASS_REQUIRE(r.task < tasks_.size(), "task source returned unknown task");
+    st.task = r.task;
+    st.next_input = 0;
+    ++result_.tasks_executed;
+    read_next_input(p);
+  }
+
+  /// Inputs of st.task are in memory: start its compute and overlap the
+  /// next task's reads; the cycle advances when both join events fire.
+  void reads_finished_prefetch(ProcessId p) {
+    ProcState& st = states_[p];
+    st.computing = st.task;
+    const Task& task = tasks_[st.computing];
+    st.events_pending = 2;  // event A: compute; event B: next task's reads
+
+    if (task.compute_time > 0) {
+      cluster_.simulator().after(task.compute_time,
+                                 [this, p](Seconds) { cycle_event(p); });
+    }
+
+    // Event B: fetch the next task's inputs while computing (fires
+    // cycle_event itself, directly for kDone or after the reads land).
+    pull_prefetched(p, /*first=*/false);
+
+    if (task.compute_time <= 0) cycle_event(p);  // A is trivial
+  }
+
+  void cycle_event(ProcessId p) {
+    ProcState& st = states_[p];
+    OPASS_CHECK(st.events_pending > 0, "cycle barrier underflow");
+    if (--st.events_pending > 0) return;
+    st.computing = kInvalidTask;
+    if (st.task == kInvalidTask) {
+      result_.process_finish_time[p] = cluster_.simulator().now();
+      return;
+    }
+    // The prefetched task's inputs are in memory: it becomes the computing
+    // task of the next cycle.
+    reads_finished_prefetch(p);
+  }
+
+  void issue_read(ProcessId p, dfs::ChunkId cid) {
+    const ProcState& st = states_[p];
+    // Serve from live replicas only; a node that failed mid-run is skipped
+    // (metadata-level re-replication is the NameNode's job, not ours).
+    dfs::ChunkInfo alive = nn_.chunk(cid);
+    std::erase_if(alive.replicas,
+                  [this](dfs::NodeId n) { return cluster_.is_failed(n); });
+    OPASS_REQUIRE(!alive.replicas.empty(),
+                  "all replicas of a chunk are on failed nodes");
+    const dfs::NodeId server = dfs::choose_serving_node(
+        alive, st.node, cluster_.inflight_per_node(), replica_choice_, rng_);
+
+    sim::ReadRecord rec;
+    rec.process = p;
+    rec.reader_node = st.node;
+    rec.serving_node = server;
+    rec.chunk = cid;
+    rec.bytes = alive.size;
+    rec.issue_time = cluster_.simulator().now();
+    rec.local = server == st.node;
+
+    cluster_.read(
+        st.node, server, alive.size,
+        [this, p, rec](Seconds end) mutable {
+          rec.end_time = end;
+          result_.trace.add(rec);
+          read_next_input(p);
+        },
+        [this, p, cid](Seconds) {
+          // Server died mid-read: retry on another replica.
+          ++result_.read_failures;
+          issue_read(p, cid);
+        });
+  }
+
+  sim::Cluster& cluster_;
+  const dfs::NameNode& nn_;
+  const std::vector<Task>& tasks_;
+  TaskSource& source_;
+  Rng& rng_;
+  dfs::ReplicaChoice replica_choice_ = dfs::ReplicaChoice::kRandom;
+  bool prefetch_ = false;
+  bool bsp_ = false;
+  std::vector<char> retired_;
+  std::uint32_t wave_active_ = 0;
+  std::uint32_t wave_arrived_ = 0;
+  std::vector<ProcState> states_;
+  ExecutionResult result_;
+};
+
+}  // namespace
+
+ExecutionResult execute(sim::Cluster& cluster, const dfs::NameNode& nn,
+                        const std::vector<Task>& tasks, TaskSource& source, Rng& rng,
+                        ExecutorConfig config) {
+  OPASS_REQUIRE(cluster.simulator().active_flows() == 0,
+                "cluster must be idle before an execution");
+  Driver driver(cluster, nn, tasks, source, rng, config);
+  driver.launch(cluster.simulator().now());
+  cluster.run();
+  return driver.take_result();
+}
+
+std::vector<ExecutionResult> execute_jobs(sim::Cluster& cluster, const dfs::NameNode& nn,
+                                          std::vector<JobSpec> jobs, Rng& rng) {
+  OPASS_REQUIRE(!jobs.empty(), "need at least one job");
+  OPASS_REQUIRE(cluster.simulator().active_flows() == 0,
+                "cluster must be idle before an execution");
+  const Seconds base = cluster.simulator().now();
+
+  std::vector<std::unique_ptr<Driver>> drivers;
+  drivers.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    OPASS_REQUIRE(job.tasks != nullptr && job.source != nullptr,
+                  "job needs a task table and a source");
+    OPASS_REQUIRE(job.start_time >= 0, "job start time must be non-negative");
+    drivers.push_back(
+        std::make_unique<Driver>(cluster, nn, *job.tasks, *job.source, rng, job.config));
+    drivers.back()->launch(base + job.start_time);
+  }
+  cluster.run();
+
+  std::vector<ExecutionResult> results;
+  results.reserve(jobs.size());
+  for (auto& d : drivers) results.push_back(d->take_result());
+  return results;
+}
+
+}  // namespace opass::runtime

@@ -1,0 +1,239 @@
+#include "sim/cluster.hpp"
+
+namespace opass::sim {
+
+Cluster::Cluster(std::uint32_t node_count, ClusterParams params)
+    : Cluster(dfs::Topology::single_rack(node_count), params) {}
+
+Cluster::Cluster(const dfs::Topology& topology, ClusterParams params)
+    : node_count_(topology.node_count()), params_(params), inflight_(node_count_, 0),
+      served_(node_count_, 0), failed_(node_count_, 0), serving_(node_count_, 0),
+      waiting_(node_count_) {
+  OPASS_REQUIRE(node_count_ > 0, "cluster needs at least one node");
+  disk_.reserve(node_count_);
+  nic_in_.reserve(node_count_);
+  nic_out_.reserve(node_count_);
+  rack_of_node_.reserve(node_count_);
+  for (std::uint32_t n = 0; n < node_count_; ++n) {
+    disk_.push_back(sim_.add_resource(params_.disk_bandwidth, params_.disk_beta));
+    nic_in_.push_back(sim_.add_resource(params_.nic_bandwidth));
+    nic_out_.push_back(sim_.add_resource(params_.nic_bandwidth));
+    rack_of_node_.push_back(topology.rack_of(n));
+  }
+  if (params_.rack_uplink_bandwidth > 0) {
+    for (dfs::RackId r = 0; r < topology.rack_count(); ++r) {
+      rack_up_.push_back(sim_.add_resource(params_.rack_uplink_bandwidth));
+      rack_down_.push_back(sim_.add_resource(params_.rack_uplink_bandwidth));
+    }
+  }
+}
+
+dfs::RackId Cluster::rack_of(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return rack_of_node_[node];
+}
+
+double Cluster::disk_utilization(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return sim_.resource_utilization(disk_[node]);
+}
+
+double Cluster::nic_out_utilization(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return sim_.resource_utilization(nic_out_[node]);
+}
+
+void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
+                   std::function<void(Seconds)> on_complete,
+                   std::function<void(Seconds)> on_failure) {
+  OPASS_REQUIRE(reader < node_count_ && server < node_count_, "node out of range");
+  if (failed_[server]) {
+    // Addressing a dead server: fail after the connection-attempt latency.
+    sim_.after(params_.remote_latency, [cb = std::move(on_failure)](Seconds t) {
+      if (cb) cb(t);
+    });
+    return;
+  }
+  ++inflight_[server];
+
+  const std::uint64_t id = next_read_id_++;
+  ReadOp op;
+  op.reader = reader;
+  op.server = server;
+  op.bytes = bytes;
+  op.on_complete = std::move(on_complete);
+  op.on_failure = std::move(on_failure);
+  active_reads_.emplace(id, std::move(op));
+
+  // DataNode admission gate (xceiver limit): queue when the server already
+  // serves its maximum number of concurrent reads.
+  if (params_.max_concurrent_serves > 0 &&
+      serving_[server] >= params_.max_concurrent_serves) {
+    waiting_[server].push_back(id);
+    return;
+  }
+  admit(id);
+}
+
+void Cluster::admit(std::uint64_t id) {
+  ReadOp& op = active_reads_.at(id);
+  op.admitted = true;
+  ++serving_[op.server];
+
+  const bool local = op.reader == op.server;
+  const bool cross_rack = rack_of_node_[op.reader] != rack_of_node_[op.server];
+  const Seconds latency = params_.seek_latency + (local ? 0.0 : params_.remote_latency) +
+                          (cross_rack ? params_.cross_rack_latency : 0.0);
+  const BytesPerSec cap = local ? 0.0 : params_.remote_stream_cap;
+
+  // The positioning latency elapses before the transfer occupies bandwidth.
+  sim_.after(latency, [this, id, cap](Seconds) {
+    const auto it = active_reads_.find(id);
+    if (it == active_reads_.end()) return;  // aborted by a failure meanwhile
+    ReadOp& op = it->second;
+    std::vector<ResourceId> path;
+    if (op.reader == op.server) {
+      path = {disk_[op.server]};
+    } else {
+      path = {disk_[op.server], nic_out_[op.server], nic_in_[op.reader]};
+      if (!rack_up_.empty() && rack_of_node_[op.reader] != rack_of_node_[op.server]) {
+        path.push_back(rack_up_[rack_of_node_[op.server]]);
+        path.push_back(rack_down_[rack_of_node_[op.reader]]);
+      }
+    }
+    op.transferring = true;
+    op.flow = sim_.start_flow(std::move(path), op.bytes,
+                              [this, id](Seconds end) {
+                                const auto it2 = active_reads_.find(id);
+                                OPASS_CHECK(it2 != active_reads_.end(),
+                                            "completed read missing from the active set");
+                                ReadOp done = std::move(it2->second);
+                                active_reads_.erase(it2);
+                                OPASS_CHECK(inflight_[done.server] > 0,
+                                            "in-flight count underflow");
+                                --inflight_[done.server];
+                                served_[done.server] += done.bytes;
+                                release_serve_slot(done.server);
+                                if (done.on_complete) done.on_complete(end);
+                              },
+                              cap);
+  });
+}
+
+void Cluster::release_serve_slot(dfs::NodeId server) {
+  OPASS_CHECK(serving_[server] > 0, "serve-slot count underflow");
+  --serving_[server];
+  if (failed_[server]) return;  // the failure path drains the queue itself
+  if (!waiting_[server].empty()) {
+    const std::uint64_t next = waiting_[server].front();
+    waiting_[server].pop_front();
+    admit(next);
+  }
+}
+
+void Cluster::fail_node(dfs::NodeId node, Seconds when) {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  OPASS_REQUIRE(when >= sim_.now(), "cannot fail a node in the past");
+  sim_.at(when, [this, node](Seconds t) {
+    if (failed_[node]) return;
+    failed_[node] = 1;
+    // Abort every read this node is serving or queueing.
+    std::vector<std::function<void(Seconds)>> failures;
+    for (auto it = active_reads_.begin(); it != active_reads_.end();) {
+      if (it->second.server != node) {
+        ++it;
+        continue;
+      }
+      ReadOp& op = it->second;
+      if (op.transferring) sim_.cancel_flow(op.flow);
+      if (op.admitted) {
+        OPASS_CHECK(serving_[node] > 0, "serve-slot count underflow");
+        --serving_[node];
+      }
+      OPASS_CHECK(inflight_[node] > 0, "in-flight count underflow");
+      --inflight_[node];
+      if (op.on_failure) failures.push_back(std::move(op.on_failure));
+      it = active_reads_.erase(it);
+    }
+    waiting_[node].clear();
+    for (auto& cb : failures) cb(t);
+  });
+}
+
+bool Cluster::is_failed(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return failed_[node] != 0;
+}
+
+void Cluster::send(dfs::NodeId src, dfs::NodeId dst, Bytes bytes,
+                   std::function<void(Seconds)> on_complete) {
+  OPASS_REQUIRE(src < node_count_ && dst < node_count_, "node out of range");
+  if (src == dst) {
+    // Loopback: software latency only, no NIC occupancy.
+    sim_.after(params_.remote_latency, [cb = std::move(on_complete)](Seconds t) {
+      if (cb) cb(t);
+    });
+    return;
+  }
+  const bool cross_rack = rack_of_node_[src] != rack_of_node_[dst];
+  const Seconds latency =
+      params_.remote_latency + (cross_rack ? params_.cross_rack_latency : 0.0);
+  sim_.after(latency, [this, src, dst, bytes, cross_rack,
+                       cb = std::move(on_complete)](Seconds) mutable {
+    std::vector<ResourceId> path{nic_out_[src], nic_in_[dst]};
+    if (!rack_up_.empty() && cross_rack) {
+      path.push_back(rack_up_[rack_of_node_[src]]);
+      path.push_back(rack_down_[rack_of_node_[dst]]);
+    }
+    sim_.start_flow(std::move(path), bytes, [cb = std::move(cb)](Seconds end) {
+      if (cb) cb(end);
+    });
+  });
+}
+
+void Cluster::write_pipeline(dfs::NodeId writer, const std::vector<dfs::NodeId>& replicas,
+                             Bytes bytes, std::function<void(Seconds)> on_complete) {
+  OPASS_REQUIRE(writer < node_count_, "node out of range");
+  OPASS_REQUIRE(!replicas.empty(), "write pipeline needs at least one replica");
+  for (dfs::NodeId r : replicas) {
+    OPASS_REQUIRE(r < node_count_, "node out of range");
+    OPASS_REQUIRE(!failed_[r], "cannot write to a failed node");
+  }
+
+  // Resource set of the cut-through stream: each hop's NICs plus every
+  // replica's disk. Duplicate resources (e.g. a node appearing twice on the
+  // chain) are collapsed — the flow engine expects distinct entries.
+  std::vector<ResourceId> path;
+  auto add_unique = [&path](ResourceId r) {
+    for (ResourceId existing : path)
+      if (existing == r) return;
+    path.push_back(r);
+  };
+
+  dfs::NodeId hop_src = writer;
+  std::uint32_t network_hops = 0;
+  for (dfs::NodeId r : replicas) {
+    if (r != hop_src) {
+      add_unique(nic_out_[hop_src]);
+      add_unique(nic_in_[r]);
+      if (!rack_up_.empty() && rack_of_node_[hop_src] != rack_of_node_[r]) {
+        add_unique(rack_up_[rack_of_node_[hop_src]]);
+        add_unique(rack_down_[rack_of_node_[r]]);
+      }
+      ++network_hops;
+    }
+    add_unique(disk_[r]);
+    hop_src = r;
+  }
+
+  const Seconds latency =
+      params_.seek_latency + params_.remote_latency * static_cast<double>(network_hops);
+  sim_.after(latency, [this, path = std::move(path), bytes,
+                       cb = std::move(on_complete)](Seconds) mutable {
+    sim_.start_flow(std::move(path), bytes, [cb = std::move(cb)](Seconds end) {
+      if (cb) cb(end);
+    });
+  });
+}
+
+}  // namespace opass::sim

@@ -1,0 +1,225 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opass::sim {
+
+namespace {
+constexpr double kEps = 1e-9;      // FP slack for time comparisons (seconds)
+constexpr double kByteEps = 1e-3;  // FP slack for transfer completion (bytes);
+                                   // must exceed the rounding error of
+                                   // rate * dt on multi-MB transfers (~1e-8 B)
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ResourceId FlowSimulator::add_resource(BytesPerSec capacity, double beta) {
+  OPASS_REQUIRE(capacity > 0, "resource capacity must be positive");
+  OPASS_REQUIRE(beta >= 0, "degradation factor must be non-negative");
+  resources_.push_back({capacity, beta, 0});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+FlowId FlowSimulator::start_flow(std::vector<ResourceId> resources, Bytes bytes,
+                                 std::function<void(Seconds)> on_complete,
+                                 BytesPerSec rate_cap) {
+  OPASS_REQUIRE(!resources.empty(), "a flow must cross at least one resource");
+  OPASS_REQUIRE(rate_cap >= 0, "rate cap must be non-negative");
+  for (ResourceId r : resources)
+    OPASS_REQUIRE(r < resources_.size(), "flow references unknown resource");
+
+  Flow f;
+  f.resources = std::move(resources);
+  f.bytes_left = static_cast<double>(bytes);
+  f.rate_cap = rate_cap;
+  f.on_complete = std::move(on_complete);
+  f.active = true;
+  for (ResourceId r : f.resources) ++resources_[r].active;
+  flows_.push_back(std::move(f));
+  ++flows_active_;
+  rates_dirty_ = true;
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void FlowSimulator::at(Seconds when, std::function<void(Seconds)> fn) {
+  OPASS_REQUIRE(when >= now_ - kEps, "cannot schedule a timer in the past");
+  timers_.push({std::max(when, now_), timer_seq_++, std::move(fn)});
+}
+
+std::uint32_t FlowSimulator::resource_load(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].active;
+}
+
+void FlowSimulator::cancel_flow(FlowId id) {
+  OPASS_REQUIRE(id < flows_.size(), "flow id out of range");
+  Flow& f = flows_[id];
+  if (!f.active) return;
+  f.active = false;
+  f.bytes_left = 0;
+  f.on_complete = nullptr;
+  --flows_active_;
+  for (ResourceId r : f.resources) {
+    OPASS_CHECK(resources_[r].active > 0, "resource active count underflow");
+    --resources_[r].active;
+  }
+  rates_dirty_ = true;
+}
+
+bool FlowSimulator::flow_active(FlowId id) const {
+  OPASS_REQUIRE(id < flows_.size(), "flow id out of range");
+  return flows_[id].active;
+}
+
+void FlowSimulator::recompute_rates() {
+  // Effective capacities for this instant: disks degrade with total
+  // concurrency on them (head thrash), NICs (beta = 0) do not.
+  std::vector<double> remaining(resources_.size());
+  std::vector<std::uint32_t> unfixed_count(resources_.size(), 0);
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    const auto& res = resources_[r];
+    const double k = static_cast<double>(res.active);
+    remaining[r] = res.active == 0
+                       ? res.capacity
+                       : res.capacity / (1.0 + res.beta * (k - 1.0));
+  }
+
+  std::vector<std::size_t> unfixed;
+  unfixed.reserve(flows_active_);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (!flows_[i].active) continue;
+    unfixed.push_back(i);
+    for (ResourceId r : flows_[i].resources) ++unfixed_count[r];
+  }
+
+  // Water-filling with per-flow caps: rates rise together until the first
+  // constraint binds. Each round, the binding level is the minimum over
+  // (a) each active resource's fair share and (b) each unfixed flow's own
+  // rate cap; all flows pinned by the binding constraint freeze at that
+  // level and release the rest of their resources' capacity.
+  while (!unfixed.empty()) {
+    double best_share = kInf;
+    bool cap_binds = false;
+    ResourceId best_r = 0;
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      if (unfixed_count[r] == 0) continue;
+      const double share = remaining[r] / static_cast<double>(unfixed_count[r]);
+      if (share < best_share) {
+        best_share = share;
+        best_r = r;
+        cap_binds = false;
+      }
+    }
+    for (std::size_t fi : unfixed) {
+      const double cap = flows_[fi].rate_cap;
+      if (cap > 0 && cap < best_share) {
+        best_share = cap;
+        cap_binds = true;
+      }
+    }
+    OPASS_CHECK(best_share < kInf, "max-min allocation found no bottleneck");
+
+    std::vector<std::size_t> still_unfixed;
+    still_unfixed.reserve(unfixed.size());
+    for (std::size_t fi : unfixed) {
+      Flow& f = flows_[fi];
+      const bool pinned =
+          cap_binds ? (f.rate_cap > 0 && f.rate_cap <= best_share)
+                    : std::find(f.resources.begin(), f.resources.end(), best_r) !=
+                          f.resources.end();
+      if (!pinned) {
+        still_unfixed.push_back(fi);
+        continue;
+      }
+      f.rate = best_share;
+      for (ResourceId r : f.resources) {
+        remaining[r] = std::max(0.0, remaining[r] - best_share);
+        --unfixed_count[r];
+      }
+    }
+    OPASS_CHECK(still_unfixed.size() < unfixed.size(), "water-filling made no progress");
+    unfixed.swap(still_unfixed);
+  }
+  rates_dirty_ = false;
+}
+
+void FlowSimulator::advance_to(Seconds t) {
+  const double dt = t - now_;
+  OPASS_CHECK(dt >= -kEps, "time must not move backwards");
+  if (dt > 0) {
+    for (auto& f : flows_) {
+      if (!f.active) continue;
+      const double moved = f.rate * dt;
+      f.bytes_left -= moved;
+      if (f.bytes_left < kByteEps) f.bytes_left = 0;
+      for (ResourceId r : f.resources) resources_[r].bytes_served += moved;
+    }
+    for (auto& res : resources_) {
+      if (res.active > 0) res.busy_time += dt;
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+Seconds FlowSimulator::resource_busy_time(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].busy_time;
+}
+
+double FlowSimulator::resource_bytes_served(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].bytes_served;
+}
+
+double FlowSimulator::resource_utilization(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return now_ > 0 ? resources_[r].busy_time / now_ : 0.0;
+}
+
+Seconds FlowSimulator::run() {
+  for (;;) {
+    if (rates_dirty_) recompute_rates();
+
+    // Earliest flow completion under current rates.
+    double next_completion = kInf;
+    for (const auto& f : flows_) {
+      if (!f.active) continue;
+      const double eta = f.rate > 0 ? now_ + f.bytes_left / f.rate : kInf;
+      next_completion = std::min(next_completion, eta);
+      if (f.bytes_left <= kByteEps) next_completion = now_;  // done already
+    }
+    const double next_timer = timers_.empty() ? kInf : timers_.top().when;
+
+    const double t = std::min(next_completion, next_timer);
+    if (t == kInf) break;  // idle: no flows, no timers
+    advance_to(t);
+
+    // Fire all timers due at (or before, FP-wise) the new now.
+    while (!timers_.empty() && timers_.top().when <= now_ + kEps) {
+      auto fn = timers_.top().fn;
+      timers_.pop();
+      fn(now_);
+    }
+
+    // Complete all finished flows. Completion callbacks commonly start the
+    // process's next read, so collect first, then fire.
+    std::vector<std::function<void(Seconds)>> callbacks;
+    for (auto& f : flows_) {
+      if (!f.active || f.bytes_left > kByteEps) continue;
+      f.active = false;
+      f.bytes_left = 0;
+      --flows_active_;
+      for (ResourceId r : f.resources) {
+        OPASS_CHECK(resources_[r].active > 0, "resource active count underflow");
+        --resources_[r].active;
+      }
+      rates_dirty_ = true;
+      if (f.on_complete) callbacks.push_back(std::move(f.on_complete));
+    }
+    for (auto& cb : callbacks) cb(now_);
+  }
+  return now_;
+}
+
+}  // namespace opass::sim

@@ -1,0 +1,120 @@
+// Flow-level discrete-event simulator.
+//
+// A *flow* is a bulk data transfer (one chunk read) that traverses a set of
+// resources (source disk; plus source/destination NICs when remote). At any
+// instant, active flows receive a max-min fair allocation of resource
+// capacities; the engine advances virtual time to the earliest flow
+// completion or timer, fires callbacks (which may start new flows), and
+// recomputes rates. This is the standard fluid approximation of TCP-like
+// bandwidth sharing, and it is what turns "8 chunks served by one node" into
+// "8x slower reads" — the paper's core observation.
+//
+// Disk resources additionally degrade under concurrency (head thrash): with k
+// active flows, effective capacity = base / (1 + beta * (k - 1)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace opass::sim {
+
+using ResourceId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+/// Max-min fair flow-level simulator.
+class FlowSimulator {
+ public:
+  FlowSimulator() = default;
+
+  /// Add a shared resource. `beta` is the concurrency degradation factor
+  /// (0 for NICs/switches, > 0 for disks).
+  ResourceId add_resource(BytesPerSec capacity, double beta = 0.0);
+
+  std::uint32_t resource_count() const { return static_cast<std::uint32_t>(resources_.size()); }
+
+  /// Start a flow of `bytes` across `resources` now; `on_complete(end_time)`
+  /// fires when the last byte arrives. Zero-byte flows complete immediately
+  /// on the next event-loop step. `rate_cap` bounds the flow's own rate
+  /// regardless of resource availability (models single-stream protocol
+  /// limits, e.g. one HDFS read over one TCP connection); 0 means uncapped.
+  FlowId start_flow(std::vector<ResourceId> resources, Bytes bytes,
+                    std::function<void(Seconds)> on_complete, BytesPerSec rate_cap = 0);
+
+  /// Schedule `fn(time)` at absolute virtual time `when` (>= now).
+  void at(Seconds when, std::function<void(Seconds)> fn);
+
+  /// Schedule `fn(time)` after `delay` seconds.
+  void after(Seconds delay, std::function<void(Seconds)> fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Cancel an in-flight flow: it releases its resources immediately and its
+  /// completion callback never fires. No-op if already complete/cancelled.
+  void cancel_flow(FlowId id);
+
+  /// True while the flow is still transferring.
+  bool flow_active(FlowId id) const;
+
+  /// Run until no flows or timers remain. Returns the final virtual time.
+  Seconds run();
+
+  Seconds now() const { return now_; }
+
+  /// Number of flows currently in progress.
+  std::size_t active_flows() const { return flows_active_; }
+
+  /// Number of active flows using a resource (for load-aware policies).
+  std::uint32_t resource_load(ResourceId r) const;
+
+  /// Cumulative time the resource had at least one active flow (busy time).
+  Seconds resource_busy_time(ResourceId r) const;
+
+  /// Cumulative bytes pushed through the resource by all flows crossing it.
+  double resource_bytes_served(ResourceId r) const;
+
+  /// Busy fraction over [0, now]; 0 when no time has elapsed.
+  double resource_utilization(ResourceId r) const;
+
+ private:
+  struct Resource {
+    BytesPerSec capacity;
+    double beta;
+    std::uint32_t active = 0;  // flows currently crossing this resource
+    double busy_time = 0;      // accumulated time with active > 0
+    double bytes_served = 0;   // accumulated throughput
+  };
+
+  struct Flow {
+    std::vector<ResourceId> resources;
+    double bytes_left;
+    double rate = 0;
+    double rate_cap = 0;  // 0 = uncapped
+    std::function<void(Seconds)> on_complete;
+    bool active = false;
+  };
+
+  struct Timer {
+    Seconds when;
+    std::uint64_t seq;
+    std::function<void(Seconds)> fn;
+    bool operator>(const Timer& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void recompute_rates();
+  void advance_to(Seconds t);
+
+  std::vector<Resource> resources_;
+  std::vector<Flow> flows_;
+  std::size_t flows_active_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  Seconds now_ = 0;
+  std::uint64_t timer_seq_ = 0;
+  bool rates_dirty_ = false;
+};
+
+}  // namespace opass::sim

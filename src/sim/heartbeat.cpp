@@ -1,0 +1,70 @@
+#include "sim/heartbeat.hpp"
+
+#include "common/require.hpp"
+
+namespace opass::sim {
+
+HeartbeatMonitor::HeartbeatMonitor(Cluster& cluster, dfs::NameNode& nn,
+                                   dfs::NodeId namenode_host, Rng& rng, Params params)
+    : cluster_(cluster), nn_(nn), namenode_host_(namenode_host), rng_(rng), params_(params),
+      last_beat_(cluster.node_count(), 0.0), declared_at_(cluster.node_count(), -1.0) {
+  OPASS_REQUIRE(namenode_host < cluster.node_count(), "NameNode host out of range");
+  OPASS_REQUIRE(params_.interval > 0, "heartbeat interval must be positive");
+  OPASS_REQUIRE(params_.miss_threshold > 0, "miss threshold must be positive");
+  OPASS_REQUIRE(nn.node_count() == cluster.node_count(),
+                "NameNode and cluster disagree on node count");
+}
+
+void HeartbeatMonitor::start(Seconds horizon) {
+  const Seconds now = cluster_.simulator().now();
+  OPASS_REQUIRE(horizon > now, "horizon must lie in the future");
+  for (dfs::NodeId n = 0; n < cluster_.node_count(); ++n) {
+    last_beat_[n] = now;  // everyone is presumed alive at start
+    schedule_beat(n, now + params_.interval, horizon);
+  }
+  schedule_check(now + params_.interval, horizon);
+}
+
+void HeartbeatMonitor::schedule_beat(dfs::NodeId node, Seconds when, Seconds horizon) {
+  if (when > horizon) return;
+  cluster_.simulator().at(when, [this, node, when, horizon](Seconds) {
+    // A failed node sends nothing — that silence is the detection signal.
+    if (!cluster_.is_failed(node)) {
+      cluster_.send(node, namenode_host_, params_.heartbeat_bytes,
+                    [this, node](Seconds arrival) {
+                      last_beat_[node] = std::max(last_beat_[node], arrival);
+                    });
+    }
+    schedule_beat(node, when + params_.interval, horizon);
+  });
+}
+
+void HeartbeatMonitor::schedule_check(Seconds when, Seconds horizon) {
+  if (when > horizon) return;
+  cluster_.simulator().at(when, [this, when, horizon](Seconds now) {
+    const Seconds deadline =
+        params_.interval * static_cast<double>(params_.miss_threshold) +
+        params_.interval;  // one interval of slack for wire latency
+    for (dfs::NodeId n = 0; n < cluster_.node_count(); ++n) {
+      if (declared_at_[n] >= 0) continue;
+      if (now - last_beat_[n] <= deadline) continue;
+      declared_at_[n] = now;
+      ++recoveries_;
+      // The NameNode re-replicates every block the dead node held.
+      nn_.decommission_node(n, rng_);
+    }
+    schedule_check(when + params_.interval, horizon);
+  });
+}
+
+bool HeartbeatMonitor::declared_dead(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < declared_at_.size(), "node out of range");
+  return declared_at_[node] >= 0;
+}
+
+Seconds HeartbeatMonitor::detection_time(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < declared_at_.size(), "node out of range");
+  return declared_at_[node];
+}
+
+}  // namespace opass::sim

@@ -1,0 +1,65 @@
+// HDFS-style failure detection and recovery.
+//
+// DataNodes heartbeat the NameNode host every few seconds; when a node
+// misses enough consecutive beats (because it crashed), the NameNode
+// declares it dead and re-replicates every block it held — closing the loop
+// between the runtime failure model (Cluster::fail_node) and the metadata
+// layer (NameNode::decommission_node). Heartbeats are real simulated
+// messages, so a congested NameNode link delays detection exactly as it
+// would in production.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "sim/cluster.hpp"
+
+namespace opass::sim {
+
+/// Heartbeat cadence and detection thresholds.
+struct HeartbeatParams {
+  Seconds interval = 3.0;            ///< beat period (HDFS default: 3 s)
+  std::uint32_t miss_threshold = 3;  ///< consecutive misses before declaring dead
+  Bytes heartbeat_bytes = 128;       ///< wire size of one beat
+};
+
+/// Periodic heartbeat + miss detection + automatic re-replication.
+class HeartbeatMonitor {
+ public:
+  using Params = HeartbeatParams;
+
+  /// `namenode_host` is the node the beats travel to (the metadata server).
+  HeartbeatMonitor(Cluster& cluster, dfs::NameNode& nn, dfs::NodeId namenode_host, Rng& rng,
+                   HeartbeatParams params = {});
+
+  /// Schedule heartbeats and miss checks from now until `horizon` (virtual
+  /// time). The simulation still quiesces at the horizon, so run() keeps
+  /// its run-to-idle semantics.
+  void start(Seconds horizon);
+
+  /// True once the monitor declared the node dead and re-replicated it.
+  bool declared_dead(dfs::NodeId node) const;
+
+  /// Virtual time the node was declared dead, or a negative value if alive.
+  Seconds detection_time(dfs::NodeId node) const;
+
+  /// Number of nodes declared dead and recovered so far.
+  std::uint32_t recoveries() const { return recoveries_; }
+
+ private:
+  void schedule_beat(dfs::NodeId node, Seconds when, Seconds horizon);
+  void schedule_check(Seconds when, Seconds horizon);
+
+  Cluster& cluster_;
+  dfs::NameNode& nn_;
+  dfs::NodeId namenode_host_;
+  Rng& rng_;
+  HeartbeatParams params_;
+  std::vector<Seconds> last_beat_;
+  std::vector<Seconds> declared_at_;  // < 0 while alive
+  std::uint32_t recoveries_ = 0;
+};
+
+}  // namespace opass::sim

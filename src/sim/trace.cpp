@@ -1,0 +1,69 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace opass::sim {
+
+std::vector<double> TraceRecorder::io_times() const {
+  std::vector<const ReadRecord*> ordered;
+  ordered.reserve(records_.size());
+  for (const auto& r : records_) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ReadRecord* a, const ReadRecord* b) {
+                     return a->end_time < b->end_time;
+                   });
+  std::vector<double> out;
+  out.reserve(ordered.size());
+  for (const auto* r : ordered) out.push_back(r->io_time());
+  return out;
+}
+
+std::vector<double> TraceRecorder::io_times_by_issue() const {
+  std::vector<const ReadRecord*> ordered;
+  ordered.reserve(records_.size());
+  for (const auto& r : records_) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ReadRecord* a, const ReadRecord* b) {
+                     return a->issue_time < b->issue_time;
+                   });
+  std::vector<double> out;
+  out.reserve(ordered.size());
+  for (const auto* r : ordered) out.push_back(r->io_time());
+  return out;
+}
+
+std::vector<Bytes> TraceRecorder::bytes_served_per_node(std::uint32_t node_count) const {
+  std::vector<Bytes> out(node_count, 0);
+  for (const auto& r : records_) {
+    OPASS_REQUIRE(r.serving_node < node_count, "record references node out of range");
+    out[r.serving_node] += r.bytes;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> TraceRecorder::ops_served_per_node(std::uint32_t node_count) const {
+  std::vector<std::uint32_t> out(node_count, 0);
+  for (const auto& r : records_) {
+    OPASS_REQUIRE(r.serving_node < node_count, "record references node out of range");
+    ++out[r.serving_node];
+  }
+  return out;
+}
+
+double TraceRecorder::local_fraction() const {
+  if (records_.empty()) return 0.0;
+  std::size_t local = 0;
+  for (const auto& r : records_)
+    if (r.local) ++local;
+  return static_cast<double>(local) / static_cast<double>(records_.size());
+}
+
+Seconds TraceRecorder::makespan() const {
+  Seconds end = 0;
+  for (const auto& r : records_) end = std::max(end, r.end_time);
+  return end;
+}
+
+}  // namespace opass::sim

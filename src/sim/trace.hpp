@@ -1,0 +1,59 @@
+// Execution traces: one record per chunk-read operation, mirroring the
+// instrumentation the paper used ("we record the I/O time taken to read each
+// chunk file" and "a monitor to record the amount of data served by each
+// storage node").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dfs/types.hpp"
+
+namespace opass::sim {
+
+/// One completed read operation.
+struct ReadRecord {
+  std::uint32_t process = 0;      ///< issuing process rank
+  dfs::NodeId reader_node = 0;    ///< node the process runs on
+  dfs::NodeId serving_node = 0;   ///< node that served the data
+  dfs::ChunkId chunk = 0;
+  Bytes bytes = 0;
+  Seconds issue_time = 0;         ///< when the request was issued
+  Seconds end_time = 0;           ///< when the last byte arrived
+  bool local = false;
+
+  Seconds io_time() const { return end_time - issue_time; }
+};
+
+/// Collects ReadRecords and derives the per-figure series.
+class TraceRecorder {
+ public:
+  void add(const ReadRecord& r) { records_.push_back(r); }
+  const std::vector<ReadRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Per-op I/O times in completion order (Fig. 7(c) / 9 / 11 / 12 series).
+  std::vector<double> io_times() const;
+
+  /// Per-op I/O times ordered by issue time.
+  std::vector<double> io_times_by_issue() const;
+
+  /// Bytes served by each node (Fig. 1(a) / 8 / 10 series).
+  std::vector<Bytes> bytes_served_per_node(std::uint32_t node_count) const;
+
+  /// Chunk-request count served by each node.
+  std::vector<std::uint32_t> ops_served_per_node(std::uint32_t node_count) const;
+
+  /// Fraction of operations served locally, in [0, 1].
+  double local_fraction() const;
+
+  /// Completion time of the last operation (parallel makespan).
+  Seconds makespan() const;
+
+ private:
+  std::vector<ReadRecord> records_;
+};
+
+}  // namespace opass::sim

@@ -1,0 +1,22 @@
+#include "workload/dataset.hpp"
+
+#include "common/require.hpp"
+
+namespace opass::workload {
+
+dfs::FileId store_chunked_dataset(dfs::NameNode& nn, const std::string& name,
+                                  std::uint32_t chunk_count, dfs::PlacementPolicy& policy,
+                                  Rng& rng) {
+  OPASS_REQUIRE(chunk_count > 0, "dataset needs at least one chunk");
+  return nn.create_file(name, static_cast<Bytes>(chunk_count) * nn.chunk_size(), policy, rng);
+}
+
+std::vector<runtime::Task> make_single_data_workload(dfs::NameNode& nn,
+                                                     std::uint32_t chunk_count,
+                                                     dfs::PlacementPolicy& policy, Rng& rng,
+                                                     Seconds compute_time) {
+  const dfs::FileId fid = store_chunked_dataset(nn, "dataset", chunk_count, policy, rng);
+  return runtime::single_input_tasks(nn, {fid}, compute_time);
+}
+
+}  // namespace opass::workload

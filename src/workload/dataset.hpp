@@ -1,0 +1,27 @@
+// Dataset construction helpers for the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::workload {
+
+/// Store one dataset of `chunk_count` full-size chunks under `name` using the
+/// given placement policy. Returns the file id.
+dfs::FileId store_chunked_dataset(dfs::NameNode& nn, const std::string& name,
+                                  std::uint32_t chunk_count, dfs::PlacementPolicy& policy,
+                                  Rng& rng);
+
+/// The paper's single-data micro-benchmark dataset: ~`chunks_per_process`
+/// full-size chunks per process on an m-node cluster ("approximately ten
+/// chunk files for every process"). Returns one single-input task per chunk.
+std::vector<runtime::Task> make_single_data_workload(dfs::NameNode& nn,
+                                                     std::uint32_t chunk_count,
+                                                     dfs::PlacementPolicy& policy, Rng& rng,
+                                                     Seconds compute_time = 0);
+
+}  // namespace opass::workload

@@ -1,0 +1,33 @@
+// Genomics (mpiBLAST-like) workload for dynamic data access (paper
+// Sections IV-D and V-A3).
+//
+// A gene database is partitioned into chunk files; comparison tasks have
+// execution times that "vary greatly and are difficult to predict according
+// to the input data", which we model with heavy-tailed (Pareto) compute
+// times. A master process dispatches tasks to idle slaves — the default
+// baseline dispatches in random order, Opass uses the Section IV-D scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::workload {
+
+/// Shape of the gene-comparison run.
+struct GenomicsSpec {
+  std::uint32_t partition_count = 640;  ///< database chunk files
+  double mean_compute_time = 0.4;       ///< seconds per comparison task
+  double pareto_shape = 1.8;            ///< tail heaviness (smaller = heavier)
+};
+
+/// Store the partitioned database and create one task per partition with a
+/// heavy-tailed compute time.
+std::vector<runtime::Task> make_genomics_workload(dfs::NameNode& nn,
+                                                  dfs::PlacementPolicy& policy, Rng& rng,
+                                                  const GenomicsSpec& spec = {});
+
+}  // namespace opass::workload

@@ -1,0 +1,31 @@
+// Multi-data access workload (paper Section V-A2).
+//
+// "Each task includes three inputs, one 30 MB data input, one 20 MB input,
+// and one 10 MB input. These three inputs belong to three different data
+// sets." Each input is a sub-chunk-size file, hence exactly one chunk, and
+// the three inputs of a task are placed independently — which is what makes
+// perfect locality impossible and Algorithm 1 necessary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::workload {
+
+/// Sizes of the per-task inputs, defaulting to the paper's 30/20/10 MB.
+struct MultiInputSpec {
+  std::vector<Bytes> input_sizes = {30 * kMiB, 20 * kMiB, 10 * kMiB};
+  Seconds compute_time = 0;
+};
+
+/// Create `task_count` tasks; input k of task i is file i of dataset k.
+std::vector<runtime::Task> make_multi_input_workload(dfs::NameNode& nn,
+                                                     std::uint32_t task_count,
+                                                     dfs::PlacementPolicy& policy, Rng& rng,
+                                                     const MultiInputSpec& spec = {});
+
+}  // namespace opass::workload

@@ -1,0 +1,43 @@
+// ParaView MultiBlock workload (paper Section V-B).
+//
+// The paper's test set: 640 VTK datasets (duplicated Protein Data Bank
+// macromolecular data), ~26 GB total, read through vtkFileSeriesReader in
+// rendering steps of 64 datasets (~3.8 GB, ~56 MB per read call). Opass is
+// hooked into vtkXMLCompositeDataReader::ReadXMLData(), which assigns data
+// pieces to data-server processes after the meta-file is parsed.
+//
+// We model: a meta-file listing `dataset_count` single-chunk files of
+// ~`bytes_per_dataset`; a sequence of rendering steps, each reading
+// `datasets_per_step` consecutive datasets and then rendering (a compute
+// phase). Steps are synchronized — exactly the data-server pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::workload {
+
+/// Shape of the ParaView run.
+struct ParaViewSpec {
+  std::uint32_t dataset_count = 640;      ///< files listed in the meta-file
+  std::uint32_t datasets_per_step = 64;   ///< read per rendering step
+  Bytes bytes_per_dataset = 56 * kMiB;    ///< ~56 MB per vtkFileSeriesReader call
+  Seconds render_time_per_task = 0.5;     ///< post-read pipeline/render work
+};
+
+/// The stored series plus per-step task lists.
+struct ParaViewWorkload {
+  std::vector<dfs::FileId> series;          ///< the MultiBlock file series
+  std::vector<runtime::Task> tasks;         ///< one task per dataset read
+  std::vector<std::vector<runtime::TaskId>> steps;  ///< task ids per rendering step
+};
+
+/// Store the series in the DFS and build the step structure.
+ParaViewWorkload make_paraview_workload(dfs::NameNode& nn, dfs::PlacementPolicy& policy,
+                                        Rng& rng, const ParaViewSpec& spec = {});
+
+}  // namespace opass::workload

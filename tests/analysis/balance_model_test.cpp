@@ -1,0 +1,106 @@
+#include "analysis/balance_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/binomial.hpp"
+#include "common/rng.hpp"
+
+namespace opass::analysis {
+namespace {
+
+// The paper's Section III-B configuration.
+const BalanceModel kPaper{128, 3, 512};
+
+TEST(BalanceModel, ChunksHeldIsBinomial) {
+  for (std::uint64_t a : {0ull, 5ull, 12ull, 30ull})
+    EXPECT_NEAR(kPaper.pmf_chunks_held(a), binomial_pmf(512, a, 3.0 / 128.0), 1e-15);
+}
+
+TEST(BalanceModel, CdfIsAProbability) {
+  double prev = 0;
+  for (std::uint64_t k = 0; k <= 30; ++k) {
+    const double c = kPaper.cdf_chunks_served(k);
+    EXPECT_GE(c, prev);   // monotone
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(kPaper.cdf_chunks_served(512), 1.0, 1e-9);
+}
+
+TEST(BalanceModel, CompoundEqualsDirectBinomial) {
+  // The law-of-total-probability compound (Y ~ Bin(n, r/m), Z|Y=a ~
+  // Bin(a, 1/r)) collapses to Z ~ Bin(n, 1/m) exactly, because the chunks
+  // are independent. This is a strong whole-distribution identity.
+  for (std::uint64_t k : {0ull, 1ull, 4ull, 8ull, 16ull})
+    EXPECT_NEAR(kPaper.cdf_chunks_served(k), binomial_cdf(512, k, 1.0 / 128.0), 1e-9)
+        << "k=" << k;
+}
+
+TEST(BalanceModel, PaperExpectedNodeCounts) {
+  // Paper Section III-B: "the expected number of nodes serving at most 1
+  // chunk is 512 x P(Z <= 1) = 11 while the expected number of nodes serving
+  // more than 8 chunks is 512 x (1 - P(Z <= 8)) = 6".
+  //
+  // The printed multiplier 512 is a slip — there are only m = 128 nodes, and
+  // 128 * P(Z <= 1) = 11.8 is what actually reproduces the quoted 11 (with
+  // the 512 multiplier the value would be 47). The ">8" count comes out at
+  // ~2.7 rather than 6 under the paper's own model; same order of magnitude,
+  // and the qualitative claim (a few nodes serve >8x what ~a dozen idle nodes
+  // serve) holds either way. EXPERIMENTS.md records the comparison.
+  EXPECT_NEAR(kPaper.expected_nodes_serving_at_most(1), 11.8, 0.5);
+  EXPECT_GT(kPaper.expected_nodes_serving_more_than(8), 1.0);
+  EXPECT_LT(kPaper.expected_nodes_serving_more_than(8), 7.0);
+}
+
+TEST(BalanceModel, ExpectedServedIsNOverM) {
+  EXPECT_DOUBLE_EQ(kPaper.expected_chunks_served(), 4.0);
+}
+
+TEST(BalanceModel, MeanOfZMatchesExpectation) {
+  // E[Z] computed from the distribution must equal n/m.
+  double mean = 0;
+  double prev_cdf = 0;
+  for (std::uint64_t k = 0; k <= 60; ++k) {
+    const double cdf = kPaper.cdf_chunks_served(k);
+    mean += static_cast<double>(k) * (cdf - prev_cdf);
+    prev_cdf = cdf;
+  }
+  EXPECT_NEAR(mean, 4.0, 0.01);
+}
+
+TEST(BalanceModel, MonteCarloAgreement) {
+  // Property check: simulate the generative story (random replica placement,
+  // uniformly chosen serving replica) and compare the empirical CDF.
+  Rng rng(1234);
+  const std::uint32_t m = 32, r = 3;
+  const std::uint64_t n = 128;
+  const int trials = 400;
+  std::vector<std::uint64_t> served_le_k(3, 0);  // k = 1, 4, 8
+  const std::uint64_t ks[3] = {1, 4, 8};
+
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint32_t> served(m, 0);
+    for (std::uint64_t c = 0; c < n; ++c) {
+      const auto replicas = rng.sample_without_replacement(m, r);
+      ++served[replicas[rng.uniform(r)]];
+    }
+    for (int i = 0; i < 3; ++i)
+      for (std::uint32_t node = 0; node < m; ++node)
+        if (served[node] <= ks[i]) ++served_le_k[i];
+  }
+
+  const BalanceModel model{m, r, n};
+  for (int i = 0; i < 3; ++i) {
+    const double empirical =
+        static_cast<double>(served_le_k[i]) / (static_cast<double>(trials) * m);
+    EXPECT_NEAR(empirical, model.cdf_chunks_served(ks[i]), 0.03) << "k=" << ks[i];
+  }
+}
+
+TEST(BalanceModel, RejectsBadParameters) {
+  EXPECT_THROW((BalanceModel{0, 3, 10}.pmf_chunks_held(0)), std::invalid_argument);
+  EXPECT_THROW((BalanceModel{4, 9, 10}.pmf_chunks_held(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opass::analysis

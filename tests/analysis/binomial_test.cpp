@@ -1,0 +1,97 @@
+#include "analysis/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace opass::analysis {
+namespace {
+
+TEST(LogChoose, SmallValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(LogChoose, Symmetry) {
+  EXPECT_NEAR(log_choose(100, 30), log_choose(100, 70), 1e-9);
+}
+
+TEST(LogChoose, RejectsKGreaterThanN) {
+  EXPECT_THROW(log_choose(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialPmf, FairCoin) {
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0, 0.5), 1.0 / 16.0, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, KAboveNIsZero) { EXPECT_EQ(binomial_pmf(3, 4, 0.5), 0.0); }
+
+TEST(BinomialPmf, RejectsBadProbability) {
+  EXPECT_THROW(binomial_pmf(3, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(binomial_pmf(3, 1, 1.1), std::invalid_argument);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (double p : {0.01, 0.3, 0.5, 0.9}) {
+    double sum = 0;
+    for (std::uint64_t k = 0; k <= 50; ++k) sum += binomial_pmf(50, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, StableForLargeN) {
+  // Would overflow naive factorials: n = 5000.
+  const double v = binomial_pmf(5000, 2500, 0.5);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+  // Stirling: peak pmf ~ 1/sqrt(pi*n/2)
+  EXPECT_NEAR(v, 1.0 / std::sqrt(3.14159265 * 2500.0), 1e-4);
+}
+
+TEST(BinomialCdf, MatchesPmfSum) {
+  double acc = 0;
+  for (std::uint64_t k = 0; k <= 7; ++k) {
+    acc += binomial_pmf(20, k, 0.3);
+    EXPECT_NEAR(binomial_cdf(20, k, 0.3), acc, 1e-12);
+  }
+}
+
+TEST(BinomialCdf, FullRangeIsOne) {
+  EXPECT_EQ(binomial_cdf(10, 10, 0.42), 1.0);
+  EXPECT_EQ(binomial_cdf(10, 99, 0.42), 1.0);
+}
+
+TEST(BinomialSf, ComplementsCdf) {
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(binomial_sf(20, k, 0.3) + binomial_cdf(20, k, 0.3), 1.0, 1e-9);
+  }
+}
+
+TEST(BinomialSf, TailPrecision) {
+  // Deep tail keeps relative precision because it sums the tail directly.
+  const double sf = binomial_sf(512, 50, 3.0 / 512.0);
+  EXPECT_GT(sf, 0.0);
+  EXPECT_LT(sf, 1e-30);
+}
+
+TEST(BinomialCdf, MonotoneInK) {
+  double prev = -1;
+  for (std::uint64_t k = 0; k <= 30; ++k) {
+    const double c = binomial_cdf(30, k, 0.4);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace opass::analysis

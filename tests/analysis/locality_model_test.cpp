@@ -1,0 +1,93 @@
+#include "analysis/locality_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::analysis {
+namespace {
+
+// The paper's Section III-A configuration: 32 GB dataset = 512 chunks,
+// 3-way replication. Default mode (kRandomReplica) matches the printed
+// Fig. 3 numbers.
+LocalityModel paper_model(std::uint32_t m) { return {m, 3, 512}; }
+
+LocalityModel co_located_model(std::uint32_t m) {
+  return {m, 3, 512, LocalityMode::kCoLocated};
+}
+
+TEST(LocalityModel, LocalProbabilityByMode) {
+  EXPECT_DOUBLE_EQ(co_located_model(64).local_probability(), 3.0 / 64.0);
+  EXPECT_DOUBLE_EQ(paper_model(64).local_probability(), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(paper_model(512).local_probability(), 1.0 / 512.0);
+}
+
+TEST(LocalityModel, RejectsBadParameters) {
+  EXPECT_THROW((LocalityModel{0, 3, 10}.local_probability()), std::invalid_argument);
+  EXPECT_THROW((LocalityModel{4, 0, 10}.local_probability()), std::invalid_argument);
+  EXPECT_THROW((LocalityModel{4, 5, 10}.local_probability()), std::invalid_argument);
+}
+
+TEST(LocalityModel, PaperTailValues) {
+  // Paper Section III-A: P(X > 5) for m = 64/128/256 is 81.09 / 21.43 /
+  // 1.64 per cent — these are Binomial(512, 1/m) tails, matched to ~0.1 pp.
+  EXPECT_NEAR(paper_model(64).sf_local_reads(5), 0.8109, 2e-3);
+  EXPECT_NEAR(paper_model(128).sf_local_reads(5), 0.2143, 2e-3);
+  EXPECT_NEAR(paper_model(256).sf_local_reads(5), 0.0164, 2e-3);
+  // m = 512: the paper prints 0.46 %, the distribution gives 0.059 % —
+  // the one value in the list that does not line up under any of the
+  // candidate models (documented in EXPERIMENTS.md). Assert the computed
+  // value stays sub-1%, which preserves the paper's qualitative point.
+  EXPECT_LT(paper_model(512).sf_local_reads(5), 0.01);
+}
+
+TEST(LocalityModel, PaperNineChunkClaim) {
+  // "with a cluster size m = 128, the probability of reading more than 9
+  // chunks locally is about 2%". The distribution gives 0.8% — the paper's
+  // "about 2%" is loose, but the claim it supports ("almost all data will be
+  // accessed remotely in a large cluster") only needs the tail to be small.
+  EXPECT_LT(paper_model(128).sf_local_reads(9), 0.03);
+  EXPECT_GT(paper_model(128).sf_local_reads(9), 0.001);
+}
+
+TEST(LocalityModel, ExpectedLocalReads) {
+  EXPECT_DOUBLE_EQ(paper_model(64).expected_local_reads(), 8.0);
+  EXPECT_DOUBLE_EQ(co_located_model(64).expected_local_reads(), 24.0);
+  EXPECT_DOUBLE_EQ(paper_model(512).expected_local_reads(), 1.0);
+}
+
+TEST(LocalityModel, CdfSeriesMatchesPointwise) {
+  const auto model = paper_model(128);
+  const auto series = model.cdf_series(20);
+  ASSERT_EQ(series.size(), 21u);
+  for (std::uint64_t k = 0; k <= 20; ++k)
+    EXPECT_NEAR(series[k], model.cdf_local_reads(k), 1e-12) << "k=" << k;
+}
+
+TEST(LocalityModel, LocalityDecaysWithClusterSize) {
+  // The paper's headline: locality probability decays as the cluster grows,
+  // in both modes.
+  for (auto mode : {LocalityMode::kRandomReplica, LocalityMode::kCoLocated}) {
+    double prev = 1.0;
+    for (std::uint32_t m : {64u, 128u, 256u, 512u}) {
+      LocalityModel model{m, 3, 512, mode};
+      const double sf = model.sf_local_reads(5);
+      EXPECT_LT(sf, prev);
+      prev = sf;
+    }
+  }
+}
+
+TEST(LocalityModel, CoLocatedModeDominatesRandomReplica) {
+  // Having a local replica is necessary for a local read: P(X > k) under
+  // kCoLocated bounds kRandomReplica from above for every k.
+  for (std::uint64_t k = 0; k <= 30; k += 5)
+    EXPECT_GE(co_located_model(128).sf_local_reads(k),
+              paper_model(128).sf_local_reads(k));
+}
+
+TEST(LocalityModel, CdfIsMonotone) {
+  const auto series = paper_model(64).cdf_series(40);
+  for (std::size_t i = 1; i < series.size(); ++i) EXPECT_GE(series[i], series[i - 1]);
+}
+
+}  // namespace
+}  // namespace opass::analysis

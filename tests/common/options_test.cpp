@@ -1,0 +1,110 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass {
+namespace {
+
+Options make_opts() {
+  Options o;
+  o.add("nodes", "64", "cluster size")
+      .add("rate", "1.5", "a real")
+      .add("name", "abc", "a string")
+      .add("verbose", "false", "a boolean");
+  return o;
+}
+
+bool parse(Options& o, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return o.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Options, DefaultsApply) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {}));
+  EXPECT_EQ(o.integer("nodes"), 64);
+  EXPECT_DOUBLE_EQ(o.real("rate"), 1.5);
+  EXPECT_EQ(o.str("name"), "abc");
+  EXPECT_FALSE(o.boolean("verbose"));
+}
+
+TEST(Options, EqualsForm) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--nodes=128", "--name=xyz"}));
+  EXPECT_EQ(o.integer("nodes"), 128);
+  EXPECT_EQ(o.str("name"), "xyz");
+}
+
+TEST(Options, SpaceForm) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--nodes", "32"}));
+  EXPECT_EQ(o.integer("nodes"), 32);
+}
+
+TEST(Options, BareBooleanFlag) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--verbose"}));
+  EXPECT_TRUE(o.boolean("verbose"));
+}
+
+TEST(Options, BooleanExplicitValue) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--verbose=true"}));
+  EXPECT_TRUE(o.boolean("verbose"));
+  auto o2 = make_opts();
+  ASSERT_TRUE(parse(o2, {"--verbose=0"}));
+  EXPECT_FALSE(o2.boolean("verbose"));
+}
+
+TEST(Options, UnknownFlagFails) {
+  auto o = make_opts();
+  EXPECT_FALSE(parse(o, {"--bogus=1"}));
+  EXPECT_NE(o.error().find("bogus"), std::string::npos);
+}
+
+TEST(Options, MissingValueFails) {
+  auto o = make_opts();
+  EXPECT_FALSE(parse(o, {"--nodes"}));
+}
+
+TEST(Options, PositionalCollected) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"input.txt", "--nodes=8", "more"}));
+  EXPECT_EQ(o.positional(), (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(Options, TypeErrorsThrow) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--name=notanumber"}));
+  EXPECT_THROW(o.integer("name"), std::invalid_argument);
+  EXPECT_THROW(o.real("name"), std::invalid_argument);
+  EXPECT_THROW(o.boolean("name"), std::invalid_argument);
+}
+
+TEST(Options, UndeclaredAccessThrows) {
+  auto o = make_opts();
+  EXPECT_THROW(o.str("nope"), std::invalid_argument);
+}
+
+TEST(Options, DuplicateDeclarationThrows) {
+  Options o;
+  o.add("x", "1", "");
+  EXPECT_THROW(o.add("x", "2", ""), std::invalid_argument);
+}
+
+TEST(Options, UsageListsFlags) {
+  auto o = make_opts();
+  const auto u = o.usage("prog");
+  EXPECT_NE(u.find("--nodes"), std::string::npos);
+  EXPECT_NE(u.find("cluster size"), std::string::npos);
+  EXPECT_NE(u.find("default: 64"), std::string::npos);
+}
+
+TEST(Options, LastValueWins) {
+  auto o = make_opts();
+  ASSERT_TRUE(parse(o, {"--nodes=1", "--nodes=2"}));
+  EXPECT_EQ(o.integer("nodes"), 2);
+}
+
+}  // namespace
+}  // namespace opass

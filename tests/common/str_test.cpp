@@ -1,0 +1,27 @@
+#include "common/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("x=%d y=%.2f s=%s", 7, 3.14159, "hi"), "x=7 y=3.14 s=hi");
+  EXPECT_EQ(strfmt("plain"), "plain");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strfmt, HandlesLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(strfmt("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"", ""}, "-"), "-");
+}
+
+}  // namespace
+}  // namespace opass

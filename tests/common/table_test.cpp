@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render("demo");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::integer(-7), "-7");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"q\"uote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirstLine) {
+  Table t({"h1", "h2"});
+  t.add_row({"v1", "v2"});
+  EXPECT_EQ(t.csv().substr(0, 5), "h1,h2");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace opass

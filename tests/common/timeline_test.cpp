@@ -1,0 +1,69 @@
+#include "common/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass {
+namespace {
+
+TEST(Timeline, PaintsIntervalsProportionally) {
+  Timeline tl(0.0, 10.0, 1, 10);
+  tl.add(0, 2.0, 5.0, '#');
+  const auto out = tl.render({"n"});
+  // Columns 2..4 painted (interval [2,5) at 1 s/column).
+  EXPECT_NE(out.find("|  ###"), std::string::npos);
+}
+
+TEST(Timeline, ShortEventsStillVisible) {
+  Timeline tl(0.0, 100.0, 1, 10);
+  tl.add(0, 50.0, 50.001, 'x');
+  EXPECT_DOUBLE_EQ(tl.lane_fill(0), 0.1);  // one cell of ten
+}
+
+TEST(Timeline, LaterPaintWins) {
+  Timeline tl(0.0, 10.0, 1, 10);
+  tl.add(0, 0.0, 10.0, 'a');
+  tl.add(0, 4.0, 6.0, 'b');
+  const auto out = tl.render({"n"});
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Timeline, ClipsOutOfRange) {
+  Timeline tl(0.0, 10.0, 2, 10);
+  tl.add(0, -5.0, 2.0, '#');   // clipped at the left
+  tl.add(1, 8.0, 50.0, '#');   // clipped at the right
+  EXPECT_DOUBLE_EQ(tl.lane_fill(0), 0.3);  // cells 0..2
+  EXPECT_DOUBLE_EQ(tl.lane_fill(1), 0.2);  // cells 8..9
+  Timeline tl2(0.0, 10.0, 1, 10);
+  tl2.add(0, 20.0, 30.0, '#');  // fully clipped
+  EXPECT_DOUBLE_EQ(tl2.lane_fill(0), 0.0);
+}
+
+TEST(Timeline, LaneFillEmpty) {
+  Timeline tl(0.0, 1.0, 3, 10);
+  for (std::size_t lane = 0; lane < 3; ++lane) EXPECT_DOUBLE_EQ(tl.lane_fill(lane), 0.0);
+}
+
+TEST(Timeline, RenderHasLabelsAndAxis) {
+  Timeline tl(0.0, 12.5, 2, 20);
+  tl.add(1, 0.0, 6.0, 'L');
+  const auto out = tl.render({"alpha", "beta"});
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta "), std::string::npos);
+  EXPECT_NE(out.find("0.0s"), std::string::npos);
+  EXPECT_NE(out.find("12.5s"), std::string::npos);
+}
+
+TEST(Timeline, Validation) {
+  EXPECT_THROW(Timeline(1.0, 1.0, 1, 10), std::invalid_argument);
+  EXPECT_THROW(Timeline(0.0, 1.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Timeline(0.0, 1.0, 1, 0), std::invalid_argument);
+  Timeline tl(0.0, 1.0, 1, 10);
+  EXPECT_THROW(tl.add(5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tl.add(0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(tl.render({"a", "b"}), std::invalid_argument);
+  EXPECT_THROW(tl.lane_fill(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opass

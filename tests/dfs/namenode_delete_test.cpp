@@ -1,0 +1,83 @@
+// Path lookup, prefix listing and deletion semantics of the NameNode.
+#include <gtest/gtest.h>
+
+#include "dfs/namenode.hpp"
+
+namespace opass::dfs {
+namespace {
+
+struct NameNodeDeleteFixture : ::testing::Test {
+  NameNodeDeleteFixture() : nn(Topology::single_rack(6), 2, kDefaultChunkSize), rng(1) {}
+  NameNode nn;
+  RandomPlacement policy;
+  Rng rng;
+};
+
+TEST_F(NameNodeDeleteFixture, FindFileByName) {
+  const auto a = nn.create_file("alpha", kMiB, policy, rng);
+  const auto b = nn.create_file("beta", kMiB, policy, rng);
+  EXPECT_EQ(nn.find_file("alpha"), a);
+  EXPECT_EQ(nn.find_file("beta"), b);
+  EXPECT_EQ(nn.find_file("gamma"), NameNode::kInvalidFile);
+  EXPECT_TRUE(nn.exists("alpha"));
+  EXPECT_FALSE(nn.exists("gamma"));
+}
+
+TEST_F(NameNodeDeleteFixture, DuplicateNameRejected) {
+  nn.create_file("dup", kMiB, policy, rng);
+  EXPECT_THROW(nn.create_file("dup", kMiB, policy, rng), std::invalid_argument);
+}
+
+TEST_F(NameNodeDeleteFixture, ListPrefix) {
+  nn.create_file("set/a", kMiB, policy, rng);
+  nn.create_file("set/b", kMiB, policy, rng);
+  nn.create_file("other", kMiB, policy, rng);
+  EXPECT_EQ(nn.list_prefix("set/").size(), 2u);
+  EXPECT_EQ(nn.list_prefix("").size(), 3u);
+  EXPECT_TRUE(nn.list_prefix("zzz").empty());
+}
+
+TEST_F(NameNodeDeleteFixture, DeleteDropsReplicasAndName) {
+  const auto fid = nn.create_file("victim", 3 * kDefaultChunkSize, policy, rng);
+  const Bytes before = nn.total_file_bytes();
+  nn.delete_file(fid);
+  EXPECT_TRUE(nn.is_deleted(fid));
+  EXPECT_FALSE(nn.exists("victim"));
+  EXPECT_EQ(nn.total_file_bytes(), before - 3 * kDefaultChunkSize);
+  for (ChunkId c : nn.file(fid).chunks) EXPECT_TRUE(nn.locations(c).empty());
+  for (NodeId n = 0; n < nn.node_count(); ++n)
+    for (ChunkId c : nn.chunks_on_node(n)) EXPECT_NE(nn.chunk(c).file, fid);
+  nn.check_invariants();
+}
+
+TEST_F(NameNodeDeleteFixture, NameReusableAfterDelete) {
+  const auto fid = nn.create_file("name", kMiB, policy, rng);
+  nn.delete_file(fid);
+  const auto fid2 = nn.create_file("name", 2 * kMiB, policy, rng);
+  EXPECT_NE(fid, fid2);
+  EXPECT_EQ(nn.find_file("name"), fid2);
+  nn.check_invariants();
+}
+
+TEST_F(NameNodeDeleteFixture, DoubleDeleteThrows) {
+  const auto fid = nn.create_file("once", kMiB, policy, rng);
+  nn.delete_file(fid);
+  EXPECT_THROW(nn.delete_file(fid), std::invalid_argument);
+}
+
+TEST_F(NameNodeDeleteFixture, DeleteOutOfRangeThrows) {
+  EXPECT_THROW(nn.delete_file(42), std::invalid_argument);
+  EXPECT_THROW(nn.is_deleted(42), std::invalid_argument);
+}
+
+TEST_F(NameNodeDeleteFixture, DeletedFilesExcludedFromListing) {
+  nn.create_file("keep", kMiB, policy, rng);
+  const auto fid = nn.create_file("drop", kMiB, policy, rng);
+  nn.delete_file(fid);
+  const auto listed = nn.list_prefix("");
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(nn.file(listed[0]).name, "keep");
+}
+
+}  // namespace
+}  // namespace opass::dfs

@@ -1,0 +1,83 @@
+#include "dfs/replica_choice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::dfs {
+namespace {
+
+ChunkInfo chunk_with_replicas(std::vector<NodeId> reps) {
+  ChunkInfo c;
+  c.size = kDefaultChunkSize;
+  c.replicas = std::move(reps);
+  return c;
+}
+
+TEST(ReplicaChoice, LocalPreferenceAlwaysWins) {
+  const auto chunk = chunk_with_replicas({3, 7, 9});
+  Rng rng(1);
+  for (auto policy :
+       {ReplicaChoice::kRandom, ReplicaChoice::kFirst, ReplicaChoice::kLeastLoaded}) {
+    EXPECT_EQ(choose_serving_node(chunk, 7, {}, policy, rng), 7u);
+  }
+}
+
+TEST(ReplicaChoice, RandomPicksOnlyReplicas) {
+  const auto chunk = chunk_with_replicas({2, 4, 6});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId n = choose_serving_node(chunk, 0, {}, ReplicaChoice::kRandom, rng);
+    EXPECT_TRUE(n == 2 || n == 4 || n == 6);
+  }
+}
+
+TEST(ReplicaChoice, RandomIsRoughlyUniform) {
+  const auto chunk = chunk_with_replicas({2, 4, 6});
+  Rng rng(5);
+  int hits[3] = {0, 0, 0};
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    switch (choose_serving_node(chunk, 0, {}, ReplicaChoice::kRandom, rng)) {
+      case 2: ++hits[0]; break;
+      case 4: ++hits[1]; break;
+      default: ++hits[2];
+    }
+  }
+  for (int h : hits) EXPECT_NEAR(h, trials / 3, trials * 0.02);
+}
+
+TEST(ReplicaChoice, FirstIsDeterministic) {
+  const auto chunk = chunk_with_replicas({5, 1, 3});
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(choose_serving_node(chunk, 0, {}, ReplicaChoice::kFirst, rng), 5u);
+}
+
+TEST(ReplicaChoice, LeastLoadedPicksMinimum) {
+  const auto chunk = chunk_with_replicas({1, 2, 3});
+  Rng rng(9);
+  const std::vector<std::uint32_t> load{0, 9, 2, 5};
+  EXPECT_EQ(choose_serving_node(chunk, 0, load, ReplicaChoice::kLeastLoaded, rng), 2u);
+}
+
+TEST(ReplicaChoice, LeastLoadedTreatsMissingLoadAsZero) {
+  const auto chunk = chunk_with_replicas({1, 6});
+  Rng rng(9);
+  const std::vector<std::uint32_t> load{0, 4};  // node 6 beyond the vector
+  EXPECT_EQ(choose_serving_node(chunk, 0, load, ReplicaChoice::kLeastLoaded, rng), 6u);
+}
+
+TEST(ReplicaChoice, NoReplicasThrows) {
+  const ChunkInfo chunk;
+  Rng rng(11);
+  EXPECT_THROW(choose_serving_node(chunk, 0, {}, ReplicaChoice::kRandom, rng),
+               std::invalid_argument);
+}
+
+TEST(ReplicaChoice, Names) {
+  EXPECT_STREQ(replica_choice_name(ReplicaChoice::kRandom), "random");
+  EXPECT_STREQ(replica_choice_name(ReplicaChoice::kFirst), "first");
+  EXPECT_STREQ(replica_choice_name(ReplicaChoice::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace opass::dfs

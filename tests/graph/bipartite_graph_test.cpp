@@ -1,0 +1,56 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::graph {
+namespace {
+
+TEST(BipartiteGraph, CountsAndEdges) {
+  BipartiteGraph g(2, 3);
+  EXPECT_EQ(g.left_count(), 2u);
+  EXPECT_EQ(g.right_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.add_edge(0, 2, 100);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(0).left, 0u);
+  EXPECT_EQ(g.edge(0).right, 2u);
+  EXPECT_EQ(g.edge(0).weight, 100u);
+}
+
+TEST(BipartiteGraph, AdjacencyIndexes) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 1);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 1, 3);
+  EXPECT_EQ(g.left_adjacency(0).size(), 2u);
+  EXPECT_EQ(g.left_adjacency(1).size(), 1u);
+  EXPECT_EQ(g.right_adjacency(0).size(), 1u);
+  EXPECT_EQ(g.right_adjacency(1).size(), 2u);
+}
+
+TEST(BipartiteGraph, RejectsOutOfRangeVertices) {
+  BipartiteGraph g(1, 1);
+  EXPECT_THROW(g.add_edge(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(g.left_adjacency(5), std::invalid_argument);
+  EXPECT_THROW(g.right_adjacency(5), std::invalid_argument);
+}
+
+TEST(BipartiteGraph, LeftWeightSums) {
+  BipartiteGraph g(2, 3);
+  g.add_edge(0, 0, 10);
+  g.add_edge(0, 2, 30);
+  g.add_edge(1, 1, 5);
+  EXPECT_EQ(g.left_weight(0), 40u);
+  EXPECT_EQ(g.left_weight(1), 5u);
+}
+
+TEST(BipartiteGraph, IsolatedRightCount) {
+  BipartiteGraph g(2, 4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 1, 1);
+  EXPECT_EQ(g.isolated_right_count(), 3u);
+}
+
+}  // namespace
+}  // namespace opass::graph

@@ -1,0 +1,73 @@
+#include "graph/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::graph {
+namespace {
+
+TEST(FlowNetwork, AddNodesReturnsFirstIndex) {
+  FlowNetwork net;
+  EXPECT_EQ(net.add_nodes(3), 0u);
+  EXPECT_EQ(net.add_nodes(2), 3u);
+  EXPECT_EQ(net.node_count(), 5u);
+}
+
+TEST(FlowNetwork, ConstructorPreallocatesNodes) {
+  FlowNetwork net(4);
+  EXPECT_EQ(net.node_count(), 4u);
+}
+
+TEST(FlowNetwork, AddEdgeStoresEndpointsAndCapacity) {
+  FlowNetwork net(2);
+  const EdgeIdx e = net.add_edge(0, 1, 7);
+  EXPECT_EQ(net.edge_from(e), 0u);
+  EXPECT_EQ(net.edge_to(e), 1u);
+  EXPECT_EQ(net.capacity(e), 7);
+  EXPECT_EQ(net.flow(e), 0);
+  EXPECT_EQ(net.edge_count(), 1u);
+}
+
+TEST(FlowNetwork, RejectsBadEndpoints) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(net.add_edge(5, 0, 1), std::invalid_argument);
+}
+
+TEST(FlowNetwork, RejectsNegativeCapacity) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 1, -1), std::invalid_argument);
+}
+
+TEST(FlowNetwork, PushMovesResidualCapacity) {
+  FlowNetwork net(2);
+  const EdgeIdx e = net.add_edge(0, 1, 5);
+  net.push(e * 2, 3);  // forward half-edge
+  EXPECT_EQ(net.flow(e), 3);
+  EXPECT_EQ(net.residual_capacity(e * 2), 2);
+  EXPECT_EQ(net.residual_capacity(e * 2 + 1), 3);
+}
+
+TEST(FlowNetwork, PushBeyondCapacityThrows) {
+  FlowNetwork net(2);
+  const EdgeIdx e = net.add_edge(0, 1, 5);
+  EXPECT_THROW(net.push(e * 2, 6), std::logic_error);
+}
+
+TEST(FlowNetwork, ResetFlowRestoresCapacities) {
+  FlowNetwork net(2);
+  const EdgeIdx e = net.add_edge(0, 1, 5);
+  net.push(e * 2, 5);
+  net.reset_flow();
+  EXPECT_EQ(net.flow(e), 0);
+  EXPECT_EQ(net.residual_capacity(e * 2), 5);
+}
+
+TEST(FlowNetwork, AdjacencyContainsBothDirections) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 1);
+  EXPECT_EQ(net.residual_adjacency(0).size(), 1u);
+  EXPECT_EQ(net.residual_adjacency(1).size(), 1u);  // the residual reverse
+}
+
+}  // namespace
+}  // namespace opass::graph

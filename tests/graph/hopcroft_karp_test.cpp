@@ -1,0 +1,84 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/max_flow.hpp"
+
+namespace opass::graph {
+namespace {
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  for (auto v : m.match_left) EXPECT_EQ(v, MatchingResult::kUnmatched);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) g.add_edge(i, i, 1);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(m.match_left[i], i);
+}
+
+TEST(HopcroftKarp, RequiresAugmentingPath) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be undone.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_EQ(m.match_left[1], 0u);
+  EXPECT_EQ(m.match_left[0], 1u);
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  // One left vertex connected to many rights can match only once.
+  BipartiteGraph g(1, 5);
+  for (std::uint32_t r = 0; r < 5; ++r) g.add_edge(0, r, 1);
+  EXPECT_EQ(hopcroft_karp(g).size, 1u);
+}
+
+TEST(HopcroftKarp, MatchArraysAreConsistent) {
+  Rng rng(3);
+  BipartiteGraph g(8, 10);
+  for (int i = 0; i < 30; ++i)
+    g.add_edge(static_cast<std::uint32_t>(rng.uniform(8)),
+               static_cast<std::uint32_t>(rng.uniform(10)), 1);
+  const auto m = hopcroft_karp(g);
+  std::uint32_t count = 0;
+  for (std::uint32_t l = 0; l < 8; ++l) {
+    if (m.match_left[l] == MatchingResult::kUnmatched) continue;
+    EXPECT_EQ(m.match_right[m.match_left[l]], l);
+    ++count;
+  }
+  EXPECT_EQ(count, m.size);
+}
+
+TEST(HopcroftKarp, AgreesWithUnitCapacityMaxFlow) {
+  // Property: max-cardinality matching == max-flow on the unit network.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto nl = static_cast<std::uint32_t>(2 + rng.uniform(10));
+    const auto nr = static_cast<std::uint32_t>(2 + rng.uniform(10));
+    BipartiteGraph g(nl, nr);
+    const int edges = static_cast<int>(nl * 2);
+    for (int i = 0; i < edges; ++i)
+      g.add_edge(static_cast<std::uint32_t>(rng.uniform(nl)),
+                 static_cast<std::uint32_t>(rng.uniform(nr)), 1);
+
+    FlowNetwork net(nl + nr + 2);
+    const NodeIdx s = nl + nr, t = nl + nr + 1;
+    for (std::uint32_t l = 0; l < nl; ++l) net.add_edge(s, l, 1);
+    for (std::uint32_t r = 0; r < nr; ++r) net.add_edge(nl + r, t, 1);
+    for (const auto& e : g.edges()) net.add_edge(e.left, nl + e.right, 1);
+
+    EXPECT_EQ(static_cast<Cap>(hopcroft_karp(g).size), dinic(net, s, t)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace opass::graph

@@ -1,0 +1,163 @@
+#include "graph/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace opass::graph {
+namespace {
+
+/// Both algorithms must agree on every network; parameterize all structural
+/// tests over the algorithm.
+class MaxFlowTest : public ::testing::TestWithParam<MaxFlowAlgorithm> {
+ protected:
+  Cap solve(FlowNetwork& net, NodeIdx s, NodeIdx t) {
+    return max_flow(net, s, t, GetParam());
+  }
+};
+
+TEST_P(MaxFlowTest, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 10);
+  EXPECT_EQ(solve(net, 0, 1), 10);
+}
+
+TEST_P(MaxFlowTest, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 10);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(solve(net, 0, 2), 3);
+}
+
+TEST_P(MaxFlowTest, ParallelPathsSum) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 4);
+  net.add_edge(1, 3, 4);
+  net.add_edge(0, 2, 6);
+  net.add_edge(2, 3, 6);
+  EXPECT_EQ(solve(net, 0, 3), 10);
+}
+
+TEST_P(MaxFlowTest, ClassicClrsNetwork) {
+  // CLRS Fig 26.1: max flow 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(solve(net, 0, 5), 23);
+}
+
+TEST_P(MaxFlowTest, RequiresAugmentingPathCancellation) {
+  // The "diamond with a cross edge" where a greedy path must be partially
+  // undone via the residual edge — the paper's reassignment cancellation.
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(solve(net, 0, 3), 2);
+}
+
+TEST_P(MaxFlowTest, DisconnectedSinkIsZero) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(solve(net, 0, 3), 0);
+}
+
+TEST_P(MaxFlowTest, ZeroCapacityEdgeCarriesNothing) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 0);
+  EXPECT_EQ(solve(net, 0, 1), 0);
+}
+
+TEST_P(MaxFlowTest, FlowConservationHolds) {
+  // On a random network: flow out of s == flow into t == returned value,
+  // and every intermediate node conserves flow.
+  Rng rng(7);
+  FlowNetwork net(12);
+  std::vector<EdgeIdx> edges;
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeIdx>(rng.uniform(12));
+    const auto v = static_cast<NodeIdx>(rng.uniform(12));
+    if (u == v) continue;
+    edges.push_back(net.add_edge(u, v, static_cast<Cap>(rng.uniform(10))));
+  }
+  const Cap total = solve(net, 0, 11);
+
+  std::vector<Cap> net_out(12, 0);
+  for (EdgeIdx e : edges) {
+    EXPECT_GE(net.flow(e), 0);
+    EXPECT_LE(net.flow(e), net.capacity(e));
+    net_out[net.edge_from(e)] += net.flow(e);
+    net_out[net.edge_to(e)] -= net.flow(e);
+  }
+  EXPECT_EQ(net_out[0], total);
+  EXPECT_EQ(net_out[11], -total);
+  for (NodeIdx v = 1; v < 11; ++v) EXPECT_EQ(net_out[v], 0) << "node " << v;
+}
+
+TEST_P(MaxFlowTest, RejectsEqualSourceSink) {
+  FlowNetwork net(2);
+  EXPECT_THROW(solve(net, 0, 0), std::invalid_argument);
+}
+
+TEST_P(MaxFlowTest, RejectsOutOfRangeTerminals) {
+  FlowNetwork net(2);
+  EXPECT_THROW(solve(net, 0, 9), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MaxFlowTest,
+                         ::testing::Values(MaxFlowAlgorithm::kEdmondsKarp,
+                                           MaxFlowAlgorithm::kDinic),
+                         [](const auto& info) {
+                           return info.param == MaxFlowAlgorithm::kEdmondsKarp ? "EdmondsKarp"
+                                                                               : "Dinic";
+                         });
+
+TEST(MaxFlowAgreement, ResetFlowAllowsResolving) {
+  // After reset_flow, re-running either algorithm reproduces the same value.
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 3, 4);
+  net.add_edge(0, 2, 3);
+  net.add_edge(2, 3, 6);
+  EXPECT_EQ(edmonds_karp(net, 0, 3), 7);
+  net.reset_flow();
+  EXPECT_EQ(dinic(net, 0, 3), 7);
+  net.reset_flow();
+  EXPECT_EQ(edmonds_karp(net, 0, 3), 7);
+}
+
+TEST(MaxFlowAgreement, RandomNetworksAgreeAcrossAlgorithms) {
+  // Property: Edmonds-Karp and Dinic compute the same value on arbitrary
+  // random networks.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const auto nodes = static_cast<NodeIdx>(4 + rng.uniform(12));
+    FlowNetwork a(nodes), b(nodes);
+    const int edge_count = 3 * nodes;
+    for (int i = 0; i < edge_count; ++i) {
+      const auto u = static_cast<NodeIdx>(rng.uniform(nodes));
+      const auto v = static_cast<NodeIdx>(rng.uniform(nodes));
+      if (u == v) continue;
+      const auto c = static_cast<Cap>(rng.uniform(20));
+      a.add_edge(u, v, c);
+      b.add_edge(u, v, c);
+    }
+    const Cap fa = edmonds_karp(a, 0, nodes - 1);
+    const Cap fb = dinic(b, 0, nodes - 1);
+    EXPECT_EQ(fa, fb) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace opass::graph

@@ -1,0 +1,101 @@
+// Cross-validation of the Section III analytic models against the DFS
+// substrate: the binomial locality model and the serve-imbalance model must
+// predict what the simulated system actually does.
+#include <gtest/gtest.h>
+
+#include "analysis/balance_model.hpp"
+#include "analysis/locality_model.hpp"
+#include "dfs/namenode.hpp"
+#include "dfs/replica_choice.hpp"
+#include "workload/dataset.hpp"
+
+namespace opass {
+namespace {
+
+TEST(ModelVsSim, LocalChunkCountMatchesBinomial) {
+  // Place n chunks randomly; count how many have a replica on node 0 and
+  // compare the empirical mean to n*r/m over many layouts.
+  const std::uint32_t m = 32, r = 3;
+  const std::uint32_t n = 128;
+  const int trials = 120;
+  double total_local = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    dfs::NameNode nn(dfs::Topology::single_rack(m), r, kDefaultChunkSize);
+    dfs::RandomPlacement policy;
+    Rng rng(static_cast<std::uint64_t>(trial) + 1);
+    workload::make_single_data_workload(nn, n, policy, rng);
+    total_local += static_cast<double>(nn.chunks_on_node(0).size());
+  }
+  // Chunks *held* by a node follow the co-located (r/m) variant.
+  const analysis::LocalityModel model{m, r, n, analysis::LocalityMode::kCoLocated};
+  EXPECT_NEAR(total_local / trials, model.expected_local_reads(), 0.8);
+}
+
+TEST(ModelVsSim, LocalCdfMatchesEmpirical) {
+  // Empirical P(X <= k) for the chunks-on-a-node distribution vs the model.
+  const std::uint32_t m = 64, r = 3;
+  const std::uint32_t n = 256;
+  const int trials = 60;
+  const analysis::LocalityModel model{m, r, n, analysis::LocalityMode::kCoLocated};
+  std::vector<int> le_counts(3, 0);  // k = 8, 12, 16
+  const std::uint64_t ks[3] = {8, 12, 16};
+  int samples = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    dfs::NameNode nn(dfs::Topology::single_rack(m), r, kDefaultChunkSize);
+    dfs::RandomPlacement policy;
+    Rng rng(static_cast<std::uint64_t>(trial) + 500);
+    workload::make_single_data_workload(nn, n, policy, rng);
+    for (dfs::NodeId node = 0; node < m; ++node) {
+      ++samples;
+      for (int i = 0; i < 3; ++i)
+        if (nn.chunks_on_node(node).size() <= ks[i]) ++le_counts[i];
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(le_counts[i]) / samples, model.cdf_local_reads(ks[i]),
+                0.03)
+        << "k=" << ks[i];
+  }
+}
+
+TEST(ModelVsSim, ServeImbalanceMatchesBalanceModel) {
+  // Drive the read path (local preference + random replica) over random
+  // layouts where readers are spread across all nodes; the per-node served
+  // count must follow the Section III-B distribution.
+  const std::uint32_t m = 48, r = 3;
+  const std::uint32_t n = 192;
+  const int trials = 80;
+  const analysis::BalanceModel model{m, r, n};
+
+  std::vector<std::uint64_t> le(2, 0);  // k = 1, 8
+  const std::uint64_t ks[2] = {1, 8};
+  for (int trial = 0; trial < trials; ++trial) {
+    dfs::NameNode nn(dfs::Topology::single_rack(m), r, kDefaultChunkSize);
+    dfs::RandomPlacement policy;
+    Rng rng(static_cast<std::uint64_t>(trial) + 900);
+    const auto tasks = workload::make_single_data_workload(nn, n, policy, rng);
+
+    // Rank-interval readers: reader of task t is node t*m/n — effectively a
+    // random node relative to the chunk's random replicas.
+    std::vector<std::uint32_t> served(m, 0);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      const dfs::NodeId reader = static_cast<dfs::NodeId>(
+          (static_cast<std::uint64_t>(t) * m) / n);
+      const auto server = dfs::choose_serving_node(nn.chunk(tasks[t].inputs[0]), reader, {},
+                                                   dfs::ReplicaChoice::kRandom, rng);
+      ++served[server];
+    }
+    for (std::uint32_t node = 0; node < m; ++node)
+      for (int i = 0; i < 2; ++i)
+        if (served[node] <= ks[i]) ++le[i];
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const double empirical = static_cast<double>(le[i]) / (trials * double(m));
+    // Local preference slightly perturbs the pure model; allow a loose band.
+    EXPECT_NEAR(empirical, model.cdf_chunks_served(ks[i]), 0.06) << "k=" << ks[i];
+  }
+}
+
+}  // namespace
+}  // namespace opass

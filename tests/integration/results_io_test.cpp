@@ -1,0 +1,54 @@
+#include "exp/results_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace opass::exp {
+namespace {
+
+Table demo_table() {
+  Table t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  return t;
+}
+
+TEST(ResultsIo, NoopWithoutEnvVar) {
+  ::unsetenv("OPASS_RESULTS_DIR");
+  EXPECT_FALSE(maybe_write_csv("demo", demo_table()));
+}
+
+TEST(ResultsIo, WritesCsvWhenEnvSet) {
+  const std::string dir = ::testing::TempDir() + "opass_results_io_test";
+  std::filesystem::remove_all(dir);
+  ::setenv("OPASS_RESULTS_DIR", dir.c_str(), 1);
+  EXPECT_TRUE(maybe_write_csv("demo", demo_table()));
+  ::unsetenv("OPASS_RESULTS_DIR");
+
+  std::ifstream in(dir + "/demo.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultsIo, RejectsPathyNames) {
+  ::setenv("OPASS_RESULTS_DIR", ::testing::TempDir().c_str(), 1);
+  EXPECT_THROW(maybe_write_csv("a/b", demo_table()), std::invalid_argument);
+  EXPECT_THROW(maybe_write_csv("", demo_table()), std::invalid_argument);
+  ::unsetenv("OPASS_RESULTS_DIR");
+}
+
+TEST(ResultsIo, EmptyEnvMeansDisabled) {
+  ::setenv("OPASS_RESULTS_DIR", "", 1);
+  EXPECT_FALSE(maybe_write_csv("demo", demo_table()));
+  ::unsetenv("OPASS_RESULTS_DIR");
+}
+
+}  // namespace
+}  // namespace opass::exp

@@ -1,0 +1,93 @@
+// Scatter and allreduce collectives.
+#include <gtest/gtest.h>
+
+#include "mpi/comm.hpp"
+
+namespace opass::mpi {
+namespace {
+
+sim::ClusterParams fast_net() {
+  sim::ClusterParams p;
+  p.disk_bandwidth = 1e6;
+  p.nic_bandwidth = 100.0;
+  p.disk_beta = 0.0;
+  p.seek_latency = 0.0;
+  p.remote_latency = 0.5;
+  p.remote_stream_cap = 0.0;
+  return p;
+}
+
+TEST(Collectives, ScatterDeliversEachValueToItsRank) {
+  sim::Cluster cluster(4, fast_net());
+  Comm comm(cluster);
+  std::vector<std::uint64_t> got(4, 0);
+  std::vector<int> hits(4, 0);
+  comm.scatter(1, 50, {10, 11, 12, 13}, [&](Rank r, std::uint64_t v, Seconds) {
+    got[r] = v;
+    ++hits[r];
+  });
+  cluster.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Collectives, ScatterRootReceivesImmediately) {
+  sim::Cluster cluster(3, fast_net());
+  Comm comm(cluster);
+  Seconds root_time = -1, other_time = -1;
+  comm.scatter(0, 50, {1, 2, 3}, [&](Rank r, std::uint64_t, Seconds t) {
+    if (r == 0) root_time = t;
+    if (r == 1) other_time = t;
+  });
+  cluster.run();
+  EXPECT_DOUBLE_EQ(root_time, 0.0);
+  EXPECT_GT(other_time, 0.0);
+}
+
+TEST(Collectives, ScatterValidation) {
+  sim::Cluster cluster(2, fast_net());
+  Comm comm(cluster);
+  EXPECT_THROW(comm.scatter(5, 1, {1, 2}, [](Rank, std::uint64_t, Seconds) {}),
+               std::invalid_argument);
+  EXPECT_THROW(comm.scatter(0, 1, {1}, [](Rank, std::uint64_t, Seconds) {}),
+               std::invalid_argument);
+}
+
+TEST(Collectives, AllreduceSum) {
+  sim::Cluster cluster(5, fast_net());
+  Comm comm(cluster);
+  std::vector<std::uint64_t> results(5, 0);
+  comm.allreduce(8, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                 [&](Rank r, std::uint64_t v, Seconds) { results[r] = v; });
+  for (Rank r = 0; r < 5; ++r) comm.reduce_contribute(r, r + 1);  // 1..5
+  cluster.run();
+  for (Rank r = 0; r < 5; ++r) EXPECT_EQ(results[r], 15u) << "rank " << r;
+}
+
+TEST(Collectives, AllreduceMax) {
+  sim::Cluster cluster(4, fast_net());
+  Comm comm(cluster);
+  std::vector<std::uint64_t> results(4, 0);
+  comm.allreduce(8, [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; },
+                 [&](Rank r, std::uint64_t v, Seconds) { results[r] = v; });
+  comm.reduce_contribute(0, 7);
+  comm.reduce_contribute(1, 99);
+  comm.reduce_contribute(2, 3);
+  comm.reduce_contribute(3, 42);
+  cluster.run();
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(results[r], 99u);
+}
+
+TEST(Collectives, AllreduceSingleRank) {
+  sim::Cluster cluster(1, fast_net());
+  Comm comm(cluster);
+  std::uint64_t result = 0;
+  comm.allreduce(8, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                 [&](Rank, std::uint64_t v, Seconds) { result = v; });
+  comm.reduce_contribute(0, 17);
+  cluster.run();
+  EXPECT_EQ(result, 17u);
+}
+
+}  // namespace
+}  // namespace opass::mpi

@@ -1,0 +1,71 @@
+#include "opass/assignment_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.hpp"
+
+namespace opass::core {
+namespace {
+
+struct StatsFixture : ::testing::Test {
+  StatsFixture() : nn(dfs::Topology::single_rack(4), 2, kDefaultChunkSize), rng(1) {
+    tasks = workload::make_single_data_workload(nn, 8, policy, rng);
+    placement = one_process_per_node(nn);
+  }
+  dfs::NameNode nn;
+  dfs::RoundRobinPlacement policy;  // chunk i on nodes {i%4, (i+1)%4}
+  Rng rng;
+  std::vector<runtime::Task> tasks;
+  ProcessPlacement placement;
+};
+
+TEST_F(StatsFixture, FullyLocalAssignment) {
+  // chunk i local to process i%4.
+  runtime::Assignment a(4);
+  for (runtime::TaskId t = 0; t < 8; ++t) a[t % 4].push_back(t);
+  const auto s = evaluate_assignment(nn, tasks, a, placement);
+  EXPECT_EQ(s.task_count, 8u);
+  EXPECT_EQ(s.total_bytes, 8 * kDefaultChunkSize);
+  EXPECT_EQ(s.local_bytes, s.total_bytes);
+  EXPECT_DOUBLE_EQ(s.local_fraction(), 1.0);
+  EXPECT_EQ(s.max_tasks_per_process, 2u);
+  EXPECT_EQ(s.min_tasks_per_process, 2u);
+}
+
+TEST_F(StatsFixture, FullyRemoteAssignment) {
+  // chunk i on {i%4,(i+1)%4}; process (i+2)%4 is never a replica holder.
+  runtime::Assignment a(4);
+  for (runtime::TaskId t = 0; t < 8; ++t) a[(t + 2) % 4].push_back(t);
+  const auto s = evaluate_assignment(nn, tasks, a, placement);
+  EXPECT_EQ(s.local_bytes, 0u);
+  EXPECT_DOUBLE_EQ(s.local_fraction(), 0.0);
+}
+
+TEST_F(StatsFixture, LoadSpreadTracked) {
+  runtime::Assignment a(4);
+  for (runtime::TaskId t = 0; t < 8; ++t) a[0].push_back(t);
+  const auto s = evaluate_assignment(nn, tasks, a, placement);
+  EXPECT_EQ(s.max_tasks_per_process, 8u);
+  EXPECT_EQ(s.min_tasks_per_process, 0u);
+}
+
+TEST_F(StatsFixture, RejectsMismatchedSizes) {
+  runtime::Assignment a(3);
+  EXPECT_THROW(evaluate_assignment(nn, tasks, a, placement), std::invalid_argument);
+}
+
+TEST_F(StatsFixture, RejectsUnknownTask) {
+  runtime::Assignment a(4);
+  a[0].push_back(99);
+  EXPECT_THROW(evaluate_assignment(nn, tasks, a, placement), std::invalid_argument);
+}
+
+TEST_F(StatsFixture, EmptyAssignmentIsZero) {
+  runtime::Assignment a(4);
+  const auto s = evaluate_assignment(nn, tasks, a, placement);
+  EXPECT_EQ(s.task_count, 0u);
+  EXPECT_DOUBLE_EQ(s.local_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace opass::core

@@ -1,0 +1,71 @@
+#include "opass/hdfs_integration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dataset.hpp"
+
+namespace opass::core {
+namespace {
+
+struct HdfsIntegrationFixture : ::testing::Test {
+  HdfsIntegrationFixture()
+      : nn(dfs::Topology::single_rack(8), 3, 4 * kMiB), rng(9) {
+    fs = hdfs::hdfsConnect(&nn, dfs::kInvalidNode);
+  }
+  ~HdfsIntegrationFixture() override { hdfs::hdfsDisconnect(fs); }
+
+  dfs::NameNode nn;
+  dfs::RandomPlacement policy;
+  Rng rng;
+  hdfs::hdfsFS fs = nullptr;
+};
+
+TEST_F(HdfsIntegrationFixture, GraphMatchesDirectNameNodeGraph) {
+  // Two files created in order: block order through the API equals chunk
+  // creation order, so the API-built graph must be edge-identical to the
+  // internal one.
+  nn.create_file("in/a", 10 * kMiB, policy, rng);  // 3 blocks
+  nn.create_file("in/b", 7 * kMiB, policy, rng);   // 2 blocks
+  const auto placement = one_process_per_node(nn);
+
+  const auto via_api = build_locality_via_hdfs(fs, {"in/a", "in/b"}, placement);
+  const auto direct = build_process_chunk_graph(nn, placement);
+
+  ASSERT_EQ(via_api.graph.left_count(), direct.left_count());
+  ASSERT_EQ(via_api.graph.right_count(), direct.right_count());
+  ASSERT_EQ(via_api.graph.edge_count(), direct.edge_count());
+
+  auto edge_set = [](const graph::BipartiteGraph& g) {
+    std::set<std::tuple<std::uint32_t, std::uint32_t, Bytes>> s;
+    for (const auto& e : g.edges()) s.insert({e.left, e.right, e.weight});
+    return s;
+  };
+  EXPECT_EQ(edge_set(via_api.graph), edge_set(direct));
+}
+
+TEST_F(HdfsIntegrationFixture, BlockTableCarriesIdentityAndSizes) {
+  nn.create_file("solo", 9 * kMiB, policy, rng);  // 4 + 4 + 1 MiB
+  const auto placement = one_process_per_node(nn);
+  const auto view = build_locality_via_hdfs(fs, {"solo"}, placement);
+  ASSERT_EQ(view.blocks.size(), 3u);
+  EXPECT_EQ(view.blocks[0].path, "solo");
+  EXPECT_EQ(view.blocks[0].block_index, 0u);
+  EXPECT_EQ(view.blocks[0].size, 4 * kMiB);
+  EXPECT_EQ(view.blocks[2].size, 1 * kMiB);
+}
+
+TEST_F(HdfsIntegrationFixture, MissingPathRejected) {
+  EXPECT_THROW(build_locality_via_hdfs(fs, {"ghost"}, one_process_per_node(nn)),
+               std::invalid_argument);
+}
+
+TEST_F(HdfsIntegrationFixture, EmptyPathsGiveEmptyGraph) {
+  const auto view = build_locality_via_hdfs(fs, {}, one_process_per_node(nn));
+  EXPECT_EQ(view.graph.right_count(), 0u);
+  EXPECT_TRUE(view.blocks.empty());
+}
+
+}  // namespace
+}  // namespace opass::core

@@ -1,0 +1,70 @@
+#include "opass/locality_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::core {
+namespace {
+
+struct LocalityGraphFixture : ::testing::Test {
+  LocalityGraphFixture()
+      : nn(dfs::Topology::single_rack(4), 2, kDefaultChunkSize), rng(1) {}
+  dfs::NameNode nn;
+  dfs::RoundRobinPlacement policy;
+  Rng rng;
+};
+
+TEST_F(LocalityGraphFixture, OneProcessPerNodeDefault) {
+  const auto p = one_process_per_node(nn);
+  ASSERT_EQ(p.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST_F(LocalityGraphFixture, ExplicitProcessCountWraps) {
+  const auto p = one_process_per_node(nn, 6);
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[4], 0u);
+  EXPECT_EQ(p[5], 1u);
+}
+
+TEST_F(LocalityGraphFixture, ProcessChunkGraphMatchesReplicas) {
+  nn.create_file("a", 4 * kDefaultChunkSize, policy, rng);
+  const auto g = build_process_chunk_graph(nn, one_process_per_node(nn));
+  // Every (process, chunk) edge corresponds to a replica and vice versa:
+  // total edges = chunks * replication when one process sits on each node.
+  EXPECT_EQ(g.edge_count(), 4u * 2u);
+  for (const auto& e : g.edges()) {
+    EXPECT_TRUE(nn.chunk(e.right).has_replica_on(e.left));
+    EXPECT_EQ(e.weight, kDefaultChunkSize);
+  }
+}
+
+TEST_F(LocalityGraphFixture, ProcessTaskGraphWeightsAreCoLocatedBytes) {
+  // Two files of 1 chunk each; one task reads both.
+  nn.create_file("a", 10 * kMiB, policy, rng);  // chunk 0 on {0,1}
+  nn.create_file("b", 20 * kMiB, policy, rng);  // chunk 1 on {1,2}
+  runtime::Task t;
+  t.id = 0;
+  t.inputs = {0, 1};
+  const auto g = build_process_task_graph(nn, {t}, one_process_per_node(nn));
+  // p0: 10 MiB, p1: 30 MiB, p2: 20 MiB, p3: no edge.
+  ASSERT_EQ(g.edge_count(), 3u);
+  Bytes w[4] = {0, 0, 0, 0};
+  for (const auto& e : g.edges()) w[e.left] = e.weight;
+  EXPECT_EQ(w[0], 10 * kMiB);
+  EXPECT_EQ(w[1], 30 * kMiB);
+  EXPECT_EQ(w[2], 20 * kMiB);
+  EXPECT_EQ(w[3], 0u);
+}
+
+TEST_F(LocalityGraphFixture, EmptyPlacementRejected) {
+  EXPECT_THROW(build_process_chunk_graph(nn, {}), std::invalid_argument);
+  EXPECT_THROW(build_process_task_graph(nn, {}, {}), std::invalid_argument);
+}
+
+TEST_F(LocalityGraphFixture, ProcessOnUnknownNodeRejected) {
+  nn.create_file("a", kDefaultChunkSize, policy, rng);
+  EXPECT_THROW(build_process_chunk_graph(nn, {99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opass::core

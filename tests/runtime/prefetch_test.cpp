@@ -1,0 +1,124 @@
+// Depth-1 read-ahead (I/O–compute overlap) in the executor.
+#include <gtest/gtest.h>
+
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace opass::runtime {
+namespace {
+
+struct PrefetchFixture : ::testing::Test {
+  PrefetchFixture()
+      : nn(dfs::Topology::single_rack(4), 2, kDefaultChunkSize), rng(3) {
+    params.disk_bandwidth = 64.0 * kMiB;  // 1 s per uncontended local chunk
+    params.nic_bandwidth = 64.0 * kMiB;
+    params.disk_beta = 0.0;
+    params.seek_latency = 0.0;
+    params.remote_latency = 0.0;
+    params.remote_stream_cap = 0.0;
+  }
+
+  std::vector<Task> make_tasks(std::uint32_t chunks, Seconds compute) {
+    const auto fid = nn.create_file("d" + std::to_string(nn.file_count()),
+                                    chunks * kDefaultChunkSize, policy, rng);
+    auto tasks = single_input_tasks(nn, {fid}, compute);
+    return tasks;
+  }
+
+  ExecutionResult run(const std::vector<Task>& tasks, const Assignment& a, bool prefetch) {
+    sim::Cluster cluster(4, params);
+    StaticAssignmentSource source(a);
+    ExecutorConfig cfg;
+    cfg.prefetch = prefetch;
+    Rng exec_rng(7);
+    return execute(cluster, nn, tasks, source, exec_rng, cfg);
+  }
+
+  dfs::NameNode nn;
+  dfs::RoundRobinPlacement policy;
+  Rng rng;
+  sim::ClusterParams params;
+};
+
+TEST_F(PrefetchFixture, AllTasksStillRunExactlyOnce) {
+  const auto tasks = make_tasks(12, 0.5);
+  const auto result = run(tasks, rank_interval_assignment(12, 4), true);
+  EXPECT_EQ(result.tasks_executed, 12u);
+  EXPECT_EQ(result.trace.size(), 12u);
+  std::vector<int> seen(12, 0);
+  for (const auto& r : result.trace.records()) ++seen[r.chunk];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_F(PrefetchFixture, OverlapHidesIoUnderCompute) {
+  // Fully local assignment (round-robin layout: chunk c has a replica on
+  // node c%4): 4 tasks per process, 1 s local read, 2 s compute.
+  // Sequential: 4 * (1 + 2) = 12 s. Prefetch: 1 + 4*2 = 9 s (reads hidden
+  // under compute).
+  const auto tasks = make_tasks(16, 2.0);
+  Assignment local(4);
+  for (TaskId t = 0; t < 16; ++t) local[t % 4].push_back(t);
+  const auto seq = run(tasks, local, false);
+  const auto pre = run(tasks, local, true);
+  EXPECT_GT(seq.makespan, pre.makespan + 1.5);
+  EXPECT_NEAR(seq.makespan, 12.0, 0.1);
+  EXPECT_NEAR(pre.makespan, 9.0, 0.1);
+}
+
+TEST_F(PrefetchFixture, NoComputeMeansNoBenefit) {
+  // Pure I/O: reads cannot overlap with anything; both modes serialize the
+  // process's reads and end at the same time.
+  const auto tasks = make_tasks(8, 0.0);
+  const auto a = rank_interval_assignment(8, 4);
+  const auto seq = run(tasks, a, false);
+  const auto pre = run(tasks, a, true);
+  EXPECT_NEAR(seq.makespan, pre.makespan, 1e-6);
+  EXPECT_EQ(pre.tasks_executed, 8u);
+}
+
+TEST_F(PrefetchFixture, SingleTaskPerProcess) {
+  const auto tasks = make_tasks(4, 1.0);
+  const auto result = run(tasks, rank_interval_assignment(4, 4), true);
+  EXPECT_EQ(result.tasks_executed, 4u);
+  // 1 s read + 1 s compute, no second task to overlap.
+  EXPECT_NEAR(result.makespan, 2.0, 0.1);
+}
+
+TEST_F(PrefetchFixture, EmptyAssignmentFinishesImmediately) {
+  const auto tasks = make_tasks(2, 1.0);
+  const auto result = run(tasks, Assignment{{}, {}, {}, {}}, true);
+  EXPECT_EQ(result.tasks_executed, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST_F(PrefetchFixture, MultiInputTasksPrefetchWholeTask) {
+  // 2 tasks of 3 inputs each on one process: sequential = 2*(3+2) = 10 s;
+  // prefetch = 3 + max(3,2) + 2 = 8 s.
+  auto chunks = make_tasks(6, 0.0);
+  std::vector<Task> tasks(2);
+  for (int i = 0; i < 2; ++i) {
+    tasks[i].id = static_cast<TaskId>(i);
+    tasks[i].compute_time = 2.0;
+    for (int k = 0; k < 3; ++k)
+      tasks[i].inputs.push_back(chunks[static_cast<std::size_t>(3 * i + k)].inputs[0]);
+  }
+  const auto seq = run(tasks, Assignment{{0, 1}, {}, {}, {}}, false);
+  const auto pre = run(tasks, Assignment{{0, 1}, {}, {}, {}}, true);
+  EXPECT_GT(seq.makespan, pre.makespan + 1.0);
+}
+
+TEST_F(PrefetchFixture, WorksWithDynamicSource) {
+  const auto tasks = make_tasks(12, 0.3);
+  sim::Cluster cluster(4, params);
+  Rng q(5);
+  MasterWorkerSource source(12, q);
+  ExecutorConfig cfg;
+  cfg.prefetch = true;
+  Rng exec_rng(7);
+  const auto result = execute(cluster, nn, tasks, source, exec_rng, cfg);
+  EXPECT_EQ(result.tasks_executed, 12u);
+}
+
+}  // namespace
+}  // namespace opass::runtime

@@ -1,0 +1,99 @@
+// DataNode admission control (xceiver limit) with FIFO queueing.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace opass::sim {
+namespace {
+
+ClusterParams gated_params(std::uint32_t limit) {
+  ClusterParams p;
+  p.disk_bandwidth = 100.0;
+  p.nic_bandwidth = 1000.0;
+  p.disk_beta = 0.0;
+  p.seek_latency = 0.0;
+  p.remote_latency = 0.0;
+  p.remote_stream_cap = 0.0;
+  p.max_concurrent_serves = limit;
+  return p;
+}
+
+TEST(Admission, SerializesBeyondTheLimit) {
+  // Limit 1: three 100-byte reads of one disk run strictly back-to-back.
+  Cluster c(2, gated_params(1));
+  std::vector<Seconds> done;
+  for (int i = 0; i < 3; ++i)
+    c.read(0, 0, 100, [&](Seconds t) { done.push_back(t); });
+  c.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+}
+
+TEST(Admission, LimitTwoSharesThenAdmits) {
+  // Limit 2, three reads: first two share the disk (2 s each), the third
+  // then runs alone (1 s).
+  Cluster c(2, gated_params(2));
+  std::vector<Seconds> done;
+  for (int i = 0; i < 3; ++i)
+    c.read(0, 0, 100, [&](Seconds t) { done.push_back(t); });
+  c.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+}
+
+TEST(Admission, ZeroMeansUnlimited) {
+  Cluster c(2, gated_params(0));
+  std::vector<Seconds> done;
+  for (int i = 0; i < 4; ++i)
+    c.read(0, 0, 100, [&](Seconds t) { done.push_back(t); });
+  c.run();
+  for (Seconds t : done) EXPECT_DOUBLE_EQ(t, 4.0);  // all share fairly
+}
+
+TEST(Admission, QueueIsPerServer) {
+  Cluster c(3, gated_params(1));
+  Seconds d0 = -1, d1 = -1;
+  c.read(1, 0, 100, [&](Seconds t) { d0 = t; });
+  c.read(0, 2, 100, [&](Seconds t) { d1 = t; });  // different server: no queueing
+  c.run();
+  EXPECT_DOUBLE_EQ(d0, 1.0);
+  EXPECT_DOUBLE_EQ(d1, 1.0);
+}
+
+TEST(Admission, InflightCountsQueuedRequests) {
+  Cluster c(2, gated_params(1));
+  for (int i = 0; i < 3; ++i) c.read(0, 0, 1000, nullptr);
+  // Before any completion, all three count as pending at the server.
+  EXPECT_EQ(c.inflight_per_node()[0], 3u);
+  c.run();
+  EXPECT_EQ(c.inflight_per_node()[0], 0u);
+}
+
+TEST(Admission, QueuedReadsFailWhenServerDies) {
+  Cluster c(2, gated_params(1));
+  int completed = 0, failed = 0;
+  for (int i = 0; i < 3; ++i)
+    c.read(0, 0, 1000, [&](Seconds) { ++completed; }, [&](Seconds) { ++failed; });
+  c.fail_node(0, 1.0);  // mid-first-read: the active one and both queued die
+  c.run();
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(failed, 3);
+}
+
+TEST(Admission, SlotFreedByFailureStillServesOtherTraffic) {
+  // Failure of one server must not wedge another server's queue.
+  Cluster c(3, gated_params(1));
+  Seconds ok = -1;
+  c.read(0, 1, 1000, nullptr, [](Seconds) {});
+  c.fail_node(1, 0.5);
+  c.read(0, 2, 100, [&](Seconds t) { ok = t; });
+  c.run();
+  EXPECT_GT(ok, 0.0);
+}
+
+}  // namespace
+}  // namespace opass::sim

@@ -1,0 +1,142 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::sim {
+namespace {
+
+ClusterParams simple_params() {
+  ClusterParams p;
+  p.disk_bandwidth = 100.0;  // bytes/s, human-scale for exact arithmetic
+  p.nic_bandwidth = 50.0;
+  p.disk_beta = 0.0;
+  p.seek_latency = 1.0;
+  p.remote_latency = 0.5;
+  p.remote_stream_cap = 0.0;  // uncapped for exact expectations
+  return p;
+}
+
+TEST(Cluster, LocalReadUsesDiskOnly) {
+  Cluster c(2, simple_params());
+  Seconds done = -1;
+  c.read(0, 0, 200, [&](Seconds t) { done = t; });
+  c.run();
+  // 1 s seek + 200/100 transfer.
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(Cluster, RemoteReadBottleneckedByNic) {
+  Cluster c(2, simple_params());
+  Seconds done = -1;
+  c.read(0, 1, 200, [&](Seconds t) { done = t; });
+  c.run();
+  // 1.5 s latency + 200/50 (NIC is tighter than disk).
+  EXPECT_DOUBLE_EQ(done, 5.5);
+}
+
+TEST(Cluster, RemoteStreamCapApplies) {
+  auto p = simple_params();
+  p.remote_stream_cap = 10.0;
+  Cluster c(2, p);
+  Seconds done = -1;
+  c.read(0, 1, 100, [&](Seconds t) { done = t; });
+  c.run();
+  EXPECT_DOUBLE_EQ(done, 11.5);  // 1.5 + 100/10
+}
+
+TEST(Cluster, LocalReadIgnoresStreamCap) {
+  auto p = simple_params();
+  p.remote_stream_cap = 10.0;
+  Cluster c(2, p);
+  Seconds done = -1;
+  c.read(1, 1, 100, [&](Seconds t) { done = t; });
+  c.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);  // 1 + 100/100
+}
+
+TEST(Cluster, ConcurrentReadsShareServerDisk) {
+  Cluster c(3, simple_params());
+  Seconds d1 = -1, d2 = -1;
+  // Two local readers on node 0's disk.
+  c.read(0, 0, 100, [&](Seconds t) { d1 = t; });
+  c.read(0, 0, 100, [&](Seconds t) { d2 = t; });
+  c.run();
+  EXPECT_DOUBLE_EQ(d1, 3.0);  // 1 s seek + 100 B at 50 each
+  EXPECT_DOUBLE_EQ(d2, 3.0);
+}
+
+TEST(Cluster, RemoteReadsFromDistinctServersDontContend) {
+  Cluster c(3, simple_params());
+  Seconds d1 = -1, d2 = -1;
+  c.read(0, 1, 100, [&](Seconds t) { d1 = t; });
+  // Reader 2 pulls from server 0: separate NICs and disks throughout.
+  c.read(2, 0, 100, [&](Seconds t) { d2 = t; });
+  c.run();
+  EXPECT_DOUBLE_EQ(d1, 3.5);
+  EXPECT_DOUBLE_EQ(d2, 3.5);
+}
+
+TEST(Cluster, ServedBytesAccumulatePerServer) {
+  Cluster c(2, simple_params());
+  c.read(0, 1, 200, nullptr);
+  c.read(1, 1, 100, nullptr);
+  c.run();
+  EXPECT_EQ(c.served_bytes()[0], 0u);
+  EXPECT_EQ(c.served_bytes()[1], 300u);
+}
+
+TEST(Cluster, InflightCountsDuringRun) {
+  Cluster c(2, simple_params());
+  std::uint32_t observed = 99;
+  c.read(0, 1, 200, nullptr);
+  // Sample the in-flight count mid-transfer via a timer.
+  c.simulator().at(2.0, [&](Seconds) { observed = c.inflight_per_node()[1]; });
+  c.run();
+  EXPECT_EQ(observed, 1u);
+  EXPECT_EQ(c.inflight_per_node()[1], 0u);
+}
+
+TEST(Cluster, DefaultCalibrationLocalRead) {
+  // The headline calibration: an uncontended 64 MiB local read lands near
+  // the paper's ~0.9 s.
+  Cluster c(2);
+  Seconds done = -1;
+  c.read(0, 0, 64 * kMiB, [&](Seconds t) { done = t; });
+  c.run();
+  EXPECT_NEAR(done, 0.9, 0.05);
+}
+
+TEST(Cluster, DefaultCalibrationRemoteRead) {
+  // An uncontended remote read takes "more than 2 seconds" (paper V-C2).
+  Cluster c(2);
+  Seconds done = -1;
+  c.read(0, 1, 64 * kMiB, [&](Seconds t) { done = t; });
+  c.run();
+  EXPECT_GT(done, 2.0);
+  EXPECT_LT(done, 3.0);
+}
+
+TEST(Cluster, ContendedServerSlowsAllReaders) {
+  // Six remote readers on one server: each read should take several times
+  // the uncontended remote time (the Fig. 1(b) spread).
+  Cluster c(8);
+  std::vector<Seconds> done(6, 0);
+  for (int i = 0; i < 6; ++i)
+    c.read(static_cast<dfs::NodeId>(i + 1), 0, 64 * kMiB,
+           [&, i](Seconds t) { done[static_cast<std::size_t>(i)] = t; });
+  c.run();
+  for (Seconds t : done) {
+    EXPECT_GT(t, 6.0);
+    EXPECT_LT(t, 20.0);
+  }
+}
+
+TEST(Cluster, ValidationErrors) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+  Cluster c(2, simple_params());
+  EXPECT_THROW(c.read(5, 0, 10, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.read(0, 5, 10, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opass::sim

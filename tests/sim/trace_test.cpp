@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opass::sim {
+namespace {
+
+ReadRecord rec(std::uint32_t proc, dfs::NodeId server, Bytes bytes, Seconds issue,
+               Seconds end, bool local) {
+  ReadRecord r;
+  r.process = proc;
+  r.reader_node = proc;
+  r.serving_node = server;
+  r.bytes = bytes;
+  r.issue_time = issue;
+  r.end_time = end;
+  r.local = local;
+  return r;
+}
+
+TEST(TraceRecorder, IoTimeIsEndMinusIssue) {
+  EXPECT_DOUBLE_EQ(rec(0, 0, 10, 1.0, 3.5, true).io_time(), 2.5);
+}
+
+TEST(TraceRecorder, IoTimesOrderedByCompletion) {
+  TraceRecorder t;
+  t.add(rec(0, 0, 10, 0.0, 5.0, true));   // completes last
+  t.add(rec(1, 1, 10, 0.0, 2.0, true));   // completes first
+  t.add(rec(2, 2, 10, 1.0, 4.0, true));
+  EXPECT_EQ(t.io_times(), (std::vector<double>{2.0, 3.0, 5.0}));
+}
+
+TEST(TraceRecorder, IoTimesByIssueOrder) {
+  TraceRecorder t;
+  t.add(rec(0, 0, 10, 2.0, 5.0, true));
+  t.add(rec(1, 1, 10, 0.0, 2.0, true));
+  EXPECT_EQ(t.io_times_by_issue(), (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(TraceRecorder, BytesServedPerNode) {
+  TraceRecorder t;
+  t.add(rec(0, 1, 100, 0, 1, false));
+  t.add(rec(1, 1, 50, 0, 1, false));
+  t.add(rec(2, 0, 25, 0, 1, true));
+  const auto served = t.bytes_served_per_node(3);
+  EXPECT_EQ(served, (std::vector<Bytes>{25, 150, 0}));
+}
+
+TEST(TraceRecorder, OpsServedPerNode) {
+  TraceRecorder t;
+  t.add(rec(0, 1, 100, 0, 1, false));
+  t.add(rec(1, 1, 50, 0, 1, false));
+  const auto ops = t.ops_served_per_node(2);
+  EXPECT_EQ(ops, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(TraceRecorder, ServedPerNodeRejectsOutOfRange) {
+  TraceRecorder t;
+  t.add(rec(0, 5, 100, 0, 1, false));
+  EXPECT_THROW(t.bytes_served_per_node(3), std::invalid_argument);
+}
+
+TEST(TraceRecorder, LocalFraction) {
+  TraceRecorder t;
+  EXPECT_DOUBLE_EQ(t.local_fraction(), 0.0);
+  t.add(rec(0, 0, 1, 0, 1, true));
+  t.add(rec(0, 1, 1, 0, 1, false));
+  t.add(rec(0, 0, 1, 0, 1, true));
+  t.add(rec(0, 2, 1, 0, 1, false));
+  EXPECT_DOUBLE_EQ(t.local_fraction(), 0.5);
+}
+
+TEST(TraceRecorder, Makespan) {
+  TraceRecorder t;
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  t.add(rec(0, 0, 1, 0, 4.5, true));
+  t.add(rec(0, 0, 1, 0, 2.0, true));
+  EXPECT_DOUBLE_EQ(t.makespan(), 4.5);
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder t;
+  t.add(rec(0, 0, 1, 0, 1, true));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace opass::sim

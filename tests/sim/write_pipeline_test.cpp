@@ -1,0 +1,84 @@
+// HDFS replication write pipeline.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace opass::sim {
+namespace {
+
+ClusterParams wp_params() {
+  ClusterParams p;
+  p.disk_bandwidth = 50.0;
+  p.nic_bandwidth = 100.0;
+  p.disk_beta = 0.0;
+  p.seek_latency = 1.0;
+  p.remote_latency = 0.5;
+  p.remote_stream_cap = 0.0;
+  return p;
+}
+
+TEST(WritePipeline, SingleLocalReplicaIsDiskBound) {
+  Cluster c(3, wp_params());
+  Seconds done = -1;
+  c.write_pipeline(0, {0}, 100, [&](Seconds t) { done = t; });
+  c.run();
+  // 1 s seek, no network hop, 100 B at 50 B/s disk.
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(WritePipeline, ThreeWayChainBottleneckedBySlowestLink) {
+  Cluster c(4, wp_params());
+  Seconds done = -1;
+  // writer 0 -> replicas {0, 1, 2}: first replica local, two network hops.
+  c.write_pipeline(0, {0, 1, 2}, 100, [&](Seconds t) { done = t; });
+  c.run();
+  // latency = 1 + 2*0.5 = 2 s; rate = min(disk 50, nics 100) = 50.
+  EXPECT_DOUBLE_EQ(done, 4.0);
+}
+
+TEST(WritePipeline, RemoteFirstReplicaAddsHop) {
+  Cluster c(4, wp_params());
+  Seconds done = -1;
+  c.write_pipeline(0, {1, 2, 3}, 100, [&](Seconds t) { done = t; });
+  c.run();
+  // 3 network hops: 1 + 3*0.5 = 2.5 s latency + 2 s stream.
+  EXPECT_DOUBLE_EQ(done, 4.5);
+}
+
+TEST(WritePipeline, ConcurrentWritesShareDisks) {
+  Cluster c(3, wp_params());
+  Seconds d1 = -1, d2 = -1;
+  c.write_pipeline(0, {1}, 100, [&](Seconds t) { d1 = t; });
+  c.write_pipeline(2, {1}, 100, [&](Seconds t) { d2 = t; });
+  c.run();
+  // Both streams share replica 1's disk (50 B/s): 25 B/s each.
+  EXPECT_DOUBLE_EQ(d1, 5.5);  // 1.5 s latency + 4 s
+  EXPECT_DOUBLE_EQ(d2, 5.5);
+}
+
+TEST(WritePipeline, Validation) {
+  Cluster c(2, wp_params());
+  EXPECT_THROW(c.write_pipeline(5, {0}, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.write_pipeline(0, {}, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.write_pipeline(0, {9}, 1, nullptr), std::invalid_argument);
+  c.fail_node(1, 0.0);
+  c.run();
+  EXPECT_THROW(c.write_pipeline(0, {1}, 1, nullptr), std::invalid_argument);
+}
+
+TEST(WritePipeline, IngestThenReadRoundTrip) {
+  // Write a chunk through the pipeline, then read it back from a replica:
+  // the two phases simply sequence on the virtual clock.
+  Cluster c(3, wp_params());
+  Seconds write_done = -1, read_done = -1;
+  c.write_pipeline(0, {0, 1, 2}, 100, [&](Seconds t) {
+    write_done = t;
+    c.read(2, 2, 100, [&](Seconds t2) { read_done = t2; });
+  });
+  c.run();
+  EXPECT_GT(write_done, 0.0);
+  EXPECT_DOUBLE_EQ(read_done, write_done + 3.0);  // 1 s seek + local 2 s
+}
+
+}  // namespace
+}  // namespace opass::sim

@@ -1,0 +1,66 @@
+#include "workload/genomics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace opass::workload {
+namespace {
+
+TEST(Genomics, CreatesOneTaskPerPartition) {
+  dfs::NameNode nn(dfs::Topology::single_rack(16), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(1);
+  GenomicsSpec spec;
+  spec.partition_count = 48;
+  const auto tasks = make_genomics_workload(nn, policy, rng, spec);
+  EXPECT_EQ(tasks.size(), 48u);
+  for (const auto& t : tasks) EXPECT_EQ(t.inputs.size(), 1u);
+}
+
+TEST(Genomics, ComputeTimesAreHeavyTailedWithRequestedMean) {
+  dfs::NameNode nn(dfs::Topology::single_rack(16), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(2);
+  GenomicsSpec spec;
+  spec.partition_count = 4000;
+  spec.mean_compute_time = 0.5;
+  spec.pareto_shape = 2.5;
+  const auto tasks = make_genomics_workload(nn, policy, rng, spec);
+  std::vector<double> times;
+  for (const auto& t : tasks) times.push_back(t.compute_time);
+  const auto s = summarize(times);
+  EXPECT_NEAR(s.mean, 0.5, 0.1);
+  // Heavy tail: max far above the mean ("execution times vary greatly").
+  EXPECT_GT(s.max, 3.0 * s.mean);
+  EXPECT_GT(s.min, 0.0);
+}
+
+TEST(Genomics, ZeroComputeSpec) {
+  dfs::NameNode nn(dfs::Topology::single_rack(16), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(3);
+  GenomicsSpec spec;
+  spec.partition_count = 8;
+  spec.mean_compute_time = 0.0;
+  const auto tasks = make_genomics_workload(nn, policy, rng, spec);
+  for (const auto& t : tasks) EXPECT_EQ(t.compute_time, 0.0);
+}
+
+TEST(Genomics, Validation) {
+  dfs::NameNode nn(dfs::Topology::single_rack(16), 3, kDefaultChunkSize);
+  dfs::RandomPlacement policy;
+  Rng rng(4);
+  GenomicsSpec bad;
+  bad.partition_count = 0;
+  EXPECT_THROW(make_genomics_workload(nn, policy, rng, bad), std::invalid_argument);
+  bad = {};
+  bad.pareto_shape = 1.0;  // infinite mean
+  EXPECT_THROW(make_genomics_workload(nn, policy, rng, bad), std::invalid_argument);
+  bad = {};
+  bad.mean_compute_time = -1.0;
+  EXPECT_THROW(make_genomics_workload(nn, policy, rng, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opass::workload

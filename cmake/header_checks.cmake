@@ -1,0 +1,35 @@
+# Public-header self-containment gate.
+#
+# Every header under src/ must compile on its own — no hidden dependency on
+# includes a lucky consumer happens to provide first. The gate generates one
+# trivial TU per header (`#include "<header>"`) into the build tree and
+# compiles them all as an object library that is part of the default build,
+# so a non-self-contained header breaks `cmake --build` immediately.
+#
+# The generated TU is only rewritten when its content changes, so repeated
+# configures do not trigger rebuilds.
+
+function(opass_add_header_checks)
+  file(GLOB_RECURSE _opass_public_headers CONFIGURE_DEPENDS
+       "${CMAKE_SOURCE_DIR}/src/*.hpp")
+  set(_tu_dir "${CMAKE_BINARY_DIR}/header_checks")
+  set(_tus "")
+  foreach(_header IN LISTS _opass_public_headers)
+    file(RELATIVE_PATH _rel "${CMAKE_SOURCE_DIR}/src" "${_header}")
+    string(REPLACE "/" "__" _stem "${_rel}")
+    string(REGEX REPLACE "\\.hpp$" ".check.cpp" _stem "${_stem}")
+    set(_tu "${_tu_dir}/${_stem}")
+    set(_content "#include \"${_rel}\"  // self-containment check\n")
+    set(_old "")
+    if(EXISTS "${_tu}")
+      file(READ "${_tu}" _old)
+    endif()
+    if(NOT _old STREQUAL _content)
+      file(WRITE "${_tu}" "${_content}")
+    endif()
+    list(APPEND _tus "${_tu}")
+  endforeach()
+
+  add_library(opass_header_checks OBJECT ${_tus})
+  target_include_directories(opass_header_checks PRIVATE "${CMAKE_SOURCE_DIR}/src")
+endfunction()

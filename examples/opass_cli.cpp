@@ -3,15 +3,20 @@
 //   opass_cli --scenario=single --nodes=64 --tasks=640 --method=opass
 //   opass_cli --scenario=paraview --method=both --csv
 //   opass_cli --scenario=dynamic --nodes=128 --seed=7 --compute=0.4
+//   opass_cli --scenario=single --method=opass --audit
 //
 // Prints the run's headline metrics as a table, or the per-op I/O series as
-// CSV with --csv (ready for plotting).
+// CSV with --csv (ready for plotting). With --audit the scenario's plan is
+// built but not simulated: the static auditor (plan_audit.hpp) checks the
+// assignment's invariants and the exit code reports the verdict.
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "opass/plan_audit.hpp"
 
 namespace {
 
@@ -57,6 +62,32 @@ int run_method(const std::string& scenario, exp::Method method,
   return 0;
 }
 
+/// --audit mode: build the scenario's plan exactly as the run would, audit
+/// it, print the report. Returns 0 iff the plan is clean.
+int audit_method(const std::string& scenario, exp::Method method,
+                 const exp::ExperimentConfig& cfg, std::uint32_t tasks) {
+  std::optional<exp::PlannedScenario> sc;
+  if (scenario == "single") {
+    sc = exp::plan_single_data(cfg, tasks, method);
+  } else if (scenario == "multi") {
+    sc = exp::plan_multi_data(cfg, tasks, method);
+  } else {
+    std::fprintf(stderr, "--audit supports the static-plan scenarios (single|multi), not '%s'\n",
+                 scenario.c_str());
+    return 2;
+  }
+  core::AuditOptions audit_opts;
+  // Opass single-data plans must respect the paper's TotalSize/m capacity;
+  // the baseline's rank intervals satisfy it too, so gate both.
+  audit_opts.enforce_capacity = sc->single_data;
+  const auto report = core::audit_plan(sc->nn, sc->tasks, sc->assignment, sc->placement,
+                                       audit_opts);
+  std::printf("audit %s/%s (n=%zu tasks, m=%zu processes): %s", scenario.c_str(),
+              exp::method_name(method), sc->tasks.size(), sc->placement.size(),
+              report.to_string().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +101,7 @@ int main(int argc, char** argv) {
       .add("compute", "0.0", "mean compute seconds per task (dynamic scenario)")
       .add("placement", "random", "random | hdfs-default | round-robin")
       .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
+      .add("audit", "false", "audit the scenario's plan statically instead of simulating")
       .add("help", "false", "show usage");
   if (!opts.parse(argc, argv) || opts.boolean("help")) {
     if (!opts.error().empty()) std::fprintf(stderr, "error: %s\n", opts.error().c_str());
@@ -96,6 +128,19 @@ int main(int argc, char** argv) {
   const auto tasks = static_cast<std::uint32_t>(opts.integer("tasks"));
   const double compute = opts.real("compute");
   const bool csv = opts.boolean("csv");
+
+  if (opts.boolean("audit")) {
+    if (method != "baseline" && method != "opass" && method != "both") {
+      std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+      return 2;
+    }
+    int rc = 0;
+    if (method == "baseline" || method == "both")
+      rc |= audit_method(scenario, exp::Method::kBaseline, cfg, tasks);
+    if (method == "opass" || method == "both")
+      rc |= audit_method(scenario, exp::Method::kOpass, cfg, tasks);
+    return rc;
+  }
 
   Table table({"method", "avg I/O (s)", "max I/O (s)", "local %", "Jain", "makespan (s)"});
   int rc = 0;

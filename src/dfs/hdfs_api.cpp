@@ -36,6 +36,8 @@ void fill_bytes(const FileSystemImpl& fs, const dfs::FileInfo& fi, Bytes pos, By
                 std::uint8_t* buffer) {
   const auto it = fs.content.find(fi.id);
   if (it != fs.content.end()) {
+    OPASS_CHECK(pos + length <= it->second.size(),
+                "read past the stored content of '" + fi.name + "'");
     std::memcpy(buffer, it->second.data() + pos, length);
     return;
   }

@@ -49,57 +49,72 @@ const char* method_name(Method m) {
   return m == Method::kBaseline ? "baseline" : "opass";
 }
 
+PlannedScenario plan_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count,
+                                 Method method) {
+  Streams streams(cfg.seed);
+  PlannedScenario sc{make_namenode(cfg), {}, {}, {}, /*single_data=*/true};
+  auto policy = dfs::make_placement(cfg.placement);
+  sc.tasks =
+      workload::make_single_data_workload(sc.nn, chunk_count, *policy, streams.placement);
+  sc.placement = core::one_process_per_node(sc.nn, cfg.nodes * cfg.processes_per_node);
+
+  if (method == Method::kBaseline) {
+    sc.assignment =
+        runtime::rank_interval_assignment(static_cast<std::uint32_t>(sc.tasks.size()),
+                                          static_cast<std::uint32_t>(sc.placement.size()));
+  } else {
+    sc.assignment =
+        core::assign_single_data(sc.nn, sc.tasks, sc.placement, streams.assign).assignment;
+  }
+  return sc;
+}
+
+PlannedScenario plan_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count,
+                                Method method, const workload::MultiInputSpec& spec) {
+  Streams streams(cfg.seed);
+  PlannedScenario sc{make_namenode(cfg), {}, {}, {}, /*single_data=*/false};
+  auto policy = dfs::make_placement(cfg.placement);
+  sc.tasks = workload::make_multi_input_workload(sc.nn, task_count, *policy, streams.placement,
+                                                 spec);
+  sc.placement = core::one_process_per_node(sc.nn, cfg.nodes * cfg.processes_per_node);
+
+  if (method == Method::kBaseline) {
+    sc.assignment = runtime::rank_interval_assignment(
+        task_count, static_cast<std::uint32_t>(sc.placement.size()));
+  } else {
+    sc.assignment = core::assign_multi_data(sc.nn, sc.tasks, sc.placement).assignment;
+  }
+  return sc;
+}
+
+namespace {
+
+/// Shared tail of the static-plan scenarios: replay the assignment on the
+/// flow simulator and reduce the trace.
+RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng& exec_rng) {
+  sim::Cluster cluster(cfg.nodes, cfg.cluster);
+  runtime::StaticAssignmentSource source(sc.assignment);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = cfg.replica_choice;
+  ec.process_count = static_cast<std::uint32_t>(sc.placement.size());
+  const auto exec = runtime::execute(cluster, sc.nn, sc.tasks, source, exec_rng, ec);
+  return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
+}
+
+}  // namespace
+
 RunOutput run_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count,
                           Method method) {
   Streams streams(cfg.seed);
-  auto nn = make_namenode(cfg);
-  auto policy = dfs::make_placement(cfg.placement);
-  auto tasks = workload::make_single_data_workload(nn, chunk_count, *policy, streams.placement);
-  const auto placement =
-      core::one_process_per_node(nn, cfg.nodes * cfg.processes_per_node);
-
-  runtime::Assignment assignment;
-  if (method == Method::kBaseline) {
-    assignment = runtime::rank_interval_assignment(static_cast<std::uint32_t>(tasks.size()),
-                                                   static_cast<std::uint32_t>(placement.size()));
-  } else {
-    assignment = core::assign_single_data(nn, tasks, placement, streams.assign).assignment;
-  }
-
-  sim::Cluster cluster(cfg.nodes, cfg.cluster);
-  runtime::StaticAssignmentSource source(assignment);
-  runtime::ExecutorConfig ec;
-  ec.replica_choice = cfg.replica_choice;
-  ec.process_count = static_cast<std::uint32_t>(placement.size());
-  const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
-  return reduce(nn, tasks, exec, placement, &assignment);
+  auto sc = plan_single_data(cfg, chunk_count, method);
+  return simulate_planned(cfg, sc, streams.exec);
 }
 
 RunOutput run_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
                          const workload::MultiInputSpec& spec) {
   Streams streams(cfg.seed);
-  auto nn = make_namenode(cfg);
-  auto policy = dfs::make_placement(cfg.placement);
-  auto tasks = workload::make_multi_input_workload(nn, task_count, *policy, streams.placement,
-                                                   spec);
-  const auto placement =
-      core::one_process_per_node(nn, cfg.nodes * cfg.processes_per_node);
-
-  runtime::Assignment assignment;
-  if (method == Method::kBaseline) {
-    assignment = runtime::rank_interval_assignment(task_count,
-                                                   static_cast<std::uint32_t>(placement.size()));
-  } else {
-    assignment = core::assign_multi_data(nn, tasks, placement).assignment;
-  }
-
-  sim::Cluster cluster(cfg.nodes, cfg.cluster);
-  runtime::StaticAssignmentSource source(assignment);
-  runtime::ExecutorConfig ec;
-  ec.replica_choice = cfg.replica_choice;
-  ec.process_count = static_cast<std::uint32_t>(placement.size());
-  const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
-  return reduce(nn, tasks, exec, placement, &assignment);
+  auto sc = plan_multi_data(cfg, task_count, method, spec);
+  return simulate_planned(cfg, sc, streams.exec);
 }
 
 RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,

@@ -14,9 +14,12 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "dfs/namenode.hpp"
 #include "dfs/placement.hpp"
 #include "dfs/replica_choice.hpp"
+#include "opass/locality_graph.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/static_partitioner.hpp"
 #include "sim/cluster.hpp"
 #include "workload/genomics.hpp"
 #include "workload/multi_input.hpp"
@@ -56,6 +59,28 @@ struct RunOutput {
   Seconds makespan = 0;              ///< parallel completion time
   std::uint32_t tasks_executed = 0;
 };
+
+/// The statically planned part of a scenario, materialized for tooling
+/// (`opass_cli --audit`, the plan auditor) and tests: the namespace, the
+/// workload, the process placement and the method's assignment, built
+/// exactly as the corresponding run_* harness builds them — same seed
+/// derivation, hence the same layout and the same plan the simulator would
+/// execute.
+struct PlannedScenario {
+  dfs::NameNode nn;
+  std::vector<runtime::Task> tasks;
+  core::ProcessPlacement placement;
+  runtime::Assignment assignment;
+  bool single_data = false;  ///< every task reads exactly one chunk
+};
+
+/// Build (without simulating) the single-data scenario's plan.
+PlannedScenario plan_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count,
+                                 Method method);
+
+/// Build (without simulating) the multi-data scenario's plan.
+PlannedScenario plan_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count,
+                                Method method, const workload::MultiInputSpec& spec = {});
 
 /// Single-data access (Figs. 7 and 8): `chunk_count` one-chunk tasks, equal
 /// shares per process. Baseline = ParaView rank-interval assignment.

@@ -14,6 +14,7 @@
 #include "opass/dynamic_scheduler.hpp"
 #include "opass/locality_graph.hpp"
 #include "opass/multi_data.hpp"
+#include "opass/plan_audit.hpp"
 #include "opass/plan_io.hpp"
 #include "opass/hdfs_integration.hpp"
 #include "opass/incremental.hpp"

@@ -90,19 +90,19 @@ void Cluster::admit(std::uint64_t id) {
   sim_.after(latency, [this, id, cap](Seconds) {
     const auto it = active_reads_.find(id);
     if (it == active_reads_.end()) return;  // aborted by a failure meanwhile
-    ReadOp& op = it->second;
+    ReadOp& read = it->second;
     std::vector<ResourceId> path;
-    if (op.reader == op.server) {
-      path = {disk_[op.server]};
+    if (read.reader == read.server) {
+      path = {disk_[read.server]};
     } else {
-      path = {disk_[op.server], nic_out_[op.server], nic_in_[op.reader]};
-      if (!rack_up_.empty() && rack_of_node_[op.reader] != rack_of_node_[op.server]) {
-        path.push_back(rack_up_[rack_of_node_[op.server]]);
-        path.push_back(rack_down_[rack_of_node_[op.reader]]);
+      path = {disk_[read.server], nic_out_[read.server], nic_in_[read.reader]};
+      if (!rack_up_.empty() && rack_of_node_[read.reader] != rack_of_node_[read.server]) {
+        path.push_back(rack_up_[rack_of_node_[read.server]]);
+        path.push_back(rack_down_[rack_of_node_[read.reader]]);
       }
     }
-    op.transferring = true;
-    op.flow = sim_.start_flow(std::move(path), op.bytes,
+    read.transferring = true;
+    read.flow = sim_.start_flow(std::move(path), read.bytes,
                               [this, id](Seconds end) {
                                 const auto it2 = active_reads_.find(id);
                                 OPASS_CHECK(it2 != active_reads_.end(),

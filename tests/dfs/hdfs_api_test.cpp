@@ -238,6 +238,35 @@ TEST_F(HdfsApiFixture, RenameFailures) {
   EXPECT_EQ(hdfsExists(fs, "a"), 0);            // unchanged on failure
 }
 
+TEST_F(HdfsApiFixture, OverLengthReadIsClampedNotOverrun) {
+  // Regression for the fill_bytes bounds check: a read request far past the
+  // stored content must clamp to the remaining bytes — never memcpy past the
+  // content buffer (ASan would flag the old unchecked copy).
+  hdfsFile w = hdfsOpenFile(fs, "short.bin", O_WRONLY_);
+  ASSERT_NE(w, nullptr);
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i);
+  ASSERT_EQ(hdfsWrite(fs, w, payload.data(), 100), 100);
+  ASSERT_EQ(hdfsCloseFile(fs, w), 0);
+
+  hdfsFile r = hdfsOpenFile(fs, "short.bin", O_RDONLY_);
+  ASSERT_NE(r, nullptr);
+  std::vector<std::uint8_t> buf(4096, 0xee);
+  // Whole-file read with a 40x over-length request: exactly 100 bytes come
+  // back and the tail of the buffer is untouched.
+  EXPECT_EQ(hdfsPread(fs, r, 0, buf.data(), 4096), 100);
+  EXPECT_EQ(std::memcmp(buf.data(), payload.data(), 100), 0);
+  EXPECT_EQ(buf[100], 0xee);
+  // Over-length request starting mid-file.
+  EXPECT_EQ(hdfsPread(fs, r, 60, buf.data(), 4096), 40);
+  EXPECT_EQ(std::memcmp(buf.data(), payload.data() + 60, 40), 0);
+  // Request starting exactly at EOF and past EOF.
+  EXPECT_EQ(hdfsPread(fs, r, 100, buf.data(), 1), 0);
+  EXPECT_EQ(hdfsPread(fs, r, 4096, buf.data(), 1), 0);
+  hdfsCloseFile(fs, r);
+}
+
 TEST_F(HdfsApiFixture, PreadOnDeletedFileFails) {
   hdfsFile w = hdfsOpenFile(fs, "doomed", O_WRONLY_);
   std::uint8_t b = 1;

@@ -40,11 +40,12 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementTest,
                          ::testing::Values(PlacementKind::kRandom,
                                            PlacementKind::kHdfsDefault,
                                            PlacementKind::kRoundRobin),
-                         [](const auto& info) {
-                           return std::string(placement_kind_name(info.param)) ==
+                         [](const auto& param_info) {
+                           return std::string(placement_kind_name(param_info.param)) ==
                                           "hdfs-default"
                                       ? "HdfsDefault"
-                                      : placement_kind_name(info.param) == std::string("random")
+                                      : placement_kind_name(param_info.param) ==
+                                                std::string("random")
                                             ? "Random"
                                             : "RoundRobin";
                          });

@@ -118,9 +118,10 @@ TEST_P(MaxFlowTest, RejectsOutOfRangeTerminals) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, MaxFlowTest,
                          ::testing::Values(MaxFlowAlgorithm::kEdmondsKarp,
                                            MaxFlowAlgorithm::kDinic),
-                         [](const auto& info) {
-                           return info.param == MaxFlowAlgorithm::kEdmondsKarp ? "EdmondsKarp"
-                                                                               : "Dinic";
+                         [](const auto& param_info) {
+                           return param_info.param == MaxFlowAlgorithm::kEdmondsKarp
+                                      ? "EdmondsKarp"
+                                      : "Dinic";
                          });
 
 TEST(MaxFlowAgreement, ResetFlowAllowsResolving) {

@@ -157,8 +157,8 @@ TEST_P(SingleDataTest, LocalityBeatsRankIntervalOnRandomLayouts) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, SingleDataTest,
                          ::testing::Values(graph::MaxFlowAlgorithm::kEdmondsKarp,
                                            graph::MaxFlowAlgorithm::kDinic),
-                         [](const auto& info) {
-                           return info.param == graph::MaxFlowAlgorithm::kEdmondsKarp
+                         [](const auto& param_info) {
+                           return param_info.param == graph::MaxFlowAlgorithm::kEdmondsKarp
                                       ? "EdmondsKarp"
                                       : "Dinic";
                          });

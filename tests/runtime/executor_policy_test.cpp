@@ -49,7 +49,9 @@ TEST_P(ExecutorPolicyTest, InvariantsHoldForEveryPolicyCombination) {
   // Local preference: any chunk with a replica on its reader is read
   // locally, under every policy.
   for (const auto& r : result.trace.records()) {
-    if (nn.chunk(r.chunk).has_replica_on(r.reader_node)) EXPECT_TRUE(r.local);
+    if (nn.chunk(r.chunk).has_replica_on(r.reader_node)) {
+      EXPECT_TRUE(r.local);
+    }
   }
 }
 
@@ -61,10 +63,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(dfs::PlacementKind::kRandom,
                                          dfs::PlacementKind::kHdfsDefault,
                                          dfs::PlacementKind::kRoundRobin)),
-    [](const auto& info) {
-      std::string name = dfs::replica_choice_name(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = dfs::replica_choice_name(std::get<0>(param_info.param));
       name += "_";
-      name += dfs::placement_kind_name(std::get<1>(info.param));
+      name += dfs::placement_kind_name(std::get<1>(param_info.param));
       for (auto& ch : name)
         if (ch == '-') ch = '_';
       return name;

@@ -124,7 +124,9 @@ TEST(ExecutorRetry, TasksCompleteDespiteServerFailure) {
   EXPECT_EQ(result.tasks_executed, 64u);
   EXPECT_EQ(result.trace.size(), 64u);
   for (const auto& r : result.trace.records()) {
-    if (r.end_time > 2.0) EXPECT_NE(r.serving_node, victim);
+    if (r.end_time > 2.0) {
+      EXPECT_NE(r.serving_node, victim);
+    }
   }
   EXPECT_GT(result.read_failures, 0u);  // the crash aborted something
 }

@@ -44,8 +44,11 @@ TEST_F(HeartbeatFixture, CrashDetectedWithinMissWindow) {
   EXPECT_GE(monitor.detection_time(5), 10.0 + p.interval * p.miss_threshold);
   EXPECT_LE(monitor.detection_time(5), 10.0 + p.interval * (p.miss_threshold + 3));
   // Healthy nodes never declared.
-  for (dfs::NodeId n = 0; n < kNodes; ++n)
-    if (n != 5) EXPECT_FALSE(monitor.declared_dead(n));
+  for (dfs::NodeId n = 0; n < kNodes; ++n) {
+    if (n != 5) {
+      EXPECT_FALSE(monitor.declared_dead(n));
+    }
+  }
 }
 
 TEST_F(HeartbeatFixture, RecoveryRestoresReplication) {

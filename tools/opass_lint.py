@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""opass_lint — project-specific hygiene rules static analyzers can't express.
+
+Rules (all scoped to src/ unless noted):
+
+  bare-assert       src/ must not use assert(); failures must throw through
+                    OPASS_REQUIRE / OPASS_CHECK (src/common/require.hpp) so
+                    release builds keep their invariants. static_assert is
+                    fine (it is a compile-time check).
+  nondeterminism    No std::rand / srand / std::random_device / system_clock /
+                    time(...) seeding outside src/common/rng.* — every random
+                    or time-derived value must flow through the seeded Rng so
+                    experiments replay bit-identically.
+  pragma-once       Every header carries #pragma once.
+  include-order     In a .cpp: the first include is the file's own header
+                    (self-containment witness); afterwards no <system>
+                    include may follow a "project" include, i.e. the system
+                    block precedes the project block.
+
+Usage:
+  opass_lint.py <repo-root>     lint the tree rooted there (exit 1 on findings)
+  opass_lint.py --self-test     seed one violation per rule into a temp tree
+                                and verify each is caught (exit 1 if not)
+
+The per-header self-containment *compile* gate lives in
+cmake/header_checks.cmake; this linter covers the textual rules.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import tempfile
+
+# --- source scrubbing -------------------------------------------------------
+
+_COMMENT_OR_STRING = re.compile(
+    r"""
+      //[^\n]*                     # line comment
+    | /\*.*?\*/                    # block comment
+    | "(?:\\.|[^"\\\n])*"          # string literal
+    | '(?:\\.|[^'\\\n])*'          # char literal
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+_COMMENT_ONLY = re.compile(
+    r"""
+      //[^\n]*                     # line comment
+    | /\*.*?\*/                    # block comment
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+def scrub(text: str, keep_strings: bool = False) -> str:
+    """Blank out comments (and, by default, literals), preserving line
+    structure. `keep_strings` leaves literals intact — needed to see quoted
+    #include paths."""
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    pattern = _COMMENT_ONLY if keep_strings else _COMMENT_OR_STRING
+    return pattern.sub(blank, text)
+
+
+# --- rules ------------------------------------------------------------------
+
+BARE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+NONDETERMINISM = re.compile(
+    r"std::rand\b|(?<![\w_])srand\s*\(|std::random_device\b"
+    r"|std::chrono::system_clock\b|(?<![\w_])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+INCLUDE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")\s*$', re.MULTILINE)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_bare_assert(path: pathlib.Path, text: str, findings: list):
+    for m in BARE_ASSERT.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "bare-assert",
+                    "use OPASS_REQUIRE / OPASS_CHECK from common/require.hpp, "
+                    "not assert()"))
+
+
+def check_nondeterminism(path: pathlib.Path, text: str, findings: list):
+    rel = path.as_posix()
+    if "/common/rng." in rel:
+        return  # the one sanctioned wrapper
+    for m in NONDETERMINISM.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "nondeterminism",
+                    f"'{m.group(0).strip()}' bypasses common/rng — experiments "
+                    "must replay from a seed"))
+
+
+def check_pragma_once(path: pathlib.Path, text: str, findings: list):
+    if path.suffix == ".hpp" and not PRAGMA_ONCE.search(text):
+        findings.append(Finding(path, 1, "pragma-once", "header lacks #pragma once"))
+
+
+def check_include_order(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
+    if path.suffix != ".cpp":
+        return
+    includes = [(m.group(1), _line_of(text, m.start()))
+                for m in INCLUDE.finditer(scrub(text, keep_strings=True))]
+    if not includes:
+        return
+    own = path.relative_to(src_root).with_suffix(".hpp").as_posix()
+    first, first_line = includes[0]
+    has_own_header = (src_root / own).exists()
+    if has_own_header and first != f'"{own}"':
+        findings.append(
+            Finding(path, first_line, "include-order",
+                    f'first include must be the file\'s own header "{own}" '
+                    "(self-containment witness)"))
+        return
+    rest = includes[1:] if has_own_header else includes
+    seen_project = None
+    for inc, line in rest:
+        if inc.startswith('"') and inc != f'"{own}"':
+            seen_project = (inc, line)
+        elif inc.startswith("<") and seen_project is not None:
+            findings.append(
+                Finding(path, line, "include-order",
+                        f"system include {inc} appears after project include "
+                        f"{seen_project[0]} (line {seen_project[1]}); keep the "
+                        "system block first"))
+            return
+
+
+# --- driver -----------------------------------------------------------------
+
+def lint_tree(root: pathlib.Path) -> list:
+    src_root = root / "src"
+    findings: list = []
+    if not src_root.is_dir():
+        findings.append(Finding(root, 1, "layout", f"no src/ directory under {root}"))
+        return findings
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        check_bare_assert(path, text, findings)
+        check_nondeterminism(path, text, findings)
+        check_pragma_once(path, text, findings)
+        check_include_order(path, src_root, text, findings)
+    return findings
+
+
+# --- self test --------------------------------------------------------------
+
+_VIOLATIONS = {
+    "bare-assert": ("bad_assert.cpp", "#include <cassert>\nvoid f(int x) { assert(x > 0); }\n"),
+    "nondeterminism": ("bad_rand.cpp", "#include <cstdlib>\nint f() { return std::rand(); }\n"),
+    "pragma-once": ("bad_guard.hpp", "struct NoGuard {};\n"),
+    "include-order": (
+        "bad_order.cpp",
+        '#include "dfs/types.hpp"\n#include <vector>\nint g() { return 1; }\n',
+    ),
+}
+
+_CLEAN = (
+    "clean.cpp",
+    '#include <vector>\n\n#include "common/require.hpp"\n'
+    "void h(int x) { OPASS_REQUIRE(x > 0, \"x\"); }\n",
+)
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="opass_lint_selftest.") as tmp:
+        root = pathlib.Path(tmp)
+        src = root / "src"
+        src.mkdir()
+        for _, (name, content) in _VIOLATIONS.items():
+            (src / name).write_text(content, encoding="utf-8")
+        (src / _CLEAN[0]).write_text(_CLEAN[1], encoding="utf-8")
+
+        findings = lint_tree(root)
+        fired = {f.rule for f in findings}
+        for rule in _VIOLATIONS:
+            if rule in fired:
+                print(f"self-test: rule '{rule}' caught its seeded violation")
+            else:
+                print(f"self-test: FAIL — rule '{rule}' missed its seeded violation")
+                failures += 1
+        clean_hits = [f for f in findings if f.path.name == _CLEAN[0]]
+        if clean_hits:
+            print(f"self-test: FAIL — false positives on the clean file: "
+                  f"{'; '.join(map(str, clean_hits))}")
+            failures += 1
+    print("self-test:", "ok" if failures == 0 else f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv: list) -> int:
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = pathlib.Path(argv[1]).resolve()
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"opass_lint: {len(findings)} finding(s)")
+        return 1
+    print("opass_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,179 @@
+// perf_planner — reproducible planner micro-benchmark.
+//
+// Runs the single-data matcher over a fixed-seed scenario matrix
+// (nodes x tasks x replication), once per max-flow solver, and emits a
+// machine-readable JSON report (BENCH_planner.json by default):
+//
+//   perf_planner                      # full matrix -> BENCH_planner.json
+//   perf_planner --smoke              # small scenarios, fewer repeats (CI)
+//   perf_planner --out=path.json
+//
+// Per scenario and solver it records min/mean wall time over `repeats`
+// identical runs (same assign seed, shared FlowWorkspace, so steady-state
+// repeats measure solve time, not allocation), the matched-task count and
+// locality percentage, and a plan_audit verdict. `parity_ok` asserts both
+// solvers matched the same (maximum) number of tasks. Wall times compare
+// across solvers on the same host; the JSON is diffed by
+// tools/bench_compare.py, which is what the CI smoke job gates on.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "opass/opass.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+struct Scenario {
+  const char* name;
+  std::uint32_t nodes;
+  std::uint32_t tasks;
+  std::uint32_t replication;
+  std::uint64_t seed;
+  std::uint32_t repeats;
+  bool smoke;  ///< included in the --smoke matrix
+};
+
+constexpr Scenario kScenarios[] = {
+    {"tiny-16n-160t-r3", 16, 160, 3, 1, 9, true},
+    {"paper-64n-640t-r3", 64, 640, 3, 42, 9, true},
+    {"medium-128n-1280t-r3", 128, 1280, 3, 3, 7, true},
+    {"replication-1-64n-640t", 64, 640, 1, 4, 9, false},
+    {"replication-5-64n-640t", 64, 640, 5, 5, 9, false},
+    {"wide-256n-2560t-r3", 256, 2560, 3, 6, 5, false},
+    {"large-256n-10240t-r3", 256, 10240, 3, 7, 5, false},
+};
+
+constexpr graph::MaxFlowAlgorithm kAlgorithms[] = {
+    graph::MaxFlowAlgorithm::kDinic,
+    graph::MaxFlowAlgorithm::kEdmondsKarp,
+};
+
+struct SolverResult {
+  double wall_ms_min = 0;
+  double wall_ms_mean = 0;
+  std::uint32_t locally_matched = 0;
+  double locality_pct = 0;
+  bool audit_ok = false;
+};
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+SolverResult run_solver(const Scenario& sc, const dfs::NameNode& nn,
+                        const std::vector<runtime::Task>& tasks,
+                        const core::ProcessPlacement& placement,
+                        graph::MaxFlowAlgorithm algorithm) {
+  SolverResult out;
+  graph::FlowWorkspace workspace;
+  core::PlanOptions options;
+  options.algorithm = algorithm;
+  options.workspace = &workspace;
+
+  double total_ms = 0;
+  core::PlanResult last;
+  for (std::uint32_t rep = 0; rep < sc.repeats; ++rep) {
+    Rng assign_rng(sc.seed * 7919 + 1);  // identical stream every repeat
+    const auto t0 = std::chrono::steady_clock::now();
+    last = core::plan({&nn, &tasks, &placement, &assign_rng}, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    total_ms += ms;
+    if (rep == 0 || ms < out.wall_ms_min) out.wall_ms_min = ms;
+  }
+  out.wall_ms_mean = total_ms / sc.repeats;
+  out.locally_matched = last.locally_matched;
+  out.locality_pct = sc.tasks ? 100.0 * last.locally_matched / sc.tasks : 0.0;
+
+  core::AuditOptions audit_options;
+  audit_options.enforce_capacity = true;
+  const auto report = core::audit_plan(nn, tasks, last.assignment, placement, audit_options);
+  out.audit_ok = report.ok();
+  if (!out.audit_ok)
+    std::fprintf(stderr, "audit FAILED for %s/%s:\n%s", sc.name,
+                 graph::max_flow_algorithm_name(algorithm), report.to_string().c_str());
+  return out;
+}
+
+void emit_solver(std::FILE* f, const char* name, const SolverResult& r, bool last) {
+  std::fprintf(f,
+               "      \"%s\": {\"wall_ms_min\": %.4f, \"wall_ms_mean\": %.4f, "
+               "\"locally_matched\": %u, \"locality_pct\": %.2f, \"audit_ok\": %s}%s\n",
+               name, r.wall_ms_min, r.wall_ms_mean, r.locally_matched, r.locality_pct,
+               r.audit_ok ? "true" : "false", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_planner.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: perf_planner [--out=path.json] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+
+  std::fprintf(f, "{\n  \"bench\": \"planner\",\n  \"schema\": 1,\n  \"scenarios\": [\n");
+  bool first = true;
+  int rc = 0;
+  for (const Scenario& sc : kScenarios) {
+    if (smoke && !sc.smoke) continue;
+
+    // Seeded layout: identical namespace + workload for both solvers.
+    dfs::NameNode nn(dfs::Topology::single_rack(sc.nodes), sc.replication);
+    dfs::RandomPlacement policy;
+    Rng layout_rng(sc.seed);
+    const auto tasks = workload::make_single_data_workload(nn, sc.tasks, policy, layout_rng);
+    const auto placement = core::one_process_per_node(nn);
+
+    SolverResult results[2];
+    for (std::size_t a = 0; a < 2; ++a)
+      results[a] = run_solver(sc, nn, tasks, placement, kAlgorithms[a]);
+    const bool parity = results[0].locally_matched == results[1].locally_matched;
+    if (!parity || !results[0].audit_ok || !results[1].audit_ok) rc = 1;
+
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nodes\": %u, \"tasks\": %u, \"replication\": %u, "
+                 "\"seed\": %llu, \"repeats\": %u,\n     \"algorithms\": {\n",
+                 sc.name, sc.nodes, sc.tasks, sc.replication,
+                 static_cast<unsigned long long>(sc.seed), sc.repeats);
+    for (std::size_t a = 0; a < 2; ++a)
+      emit_solver(f, graph::max_flow_algorithm_name(kAlgorithms[a]), results[a], a == 1);
+    std::fprintf(f, "     },\n     \"peak_rss_kb\": %ld, \"parity_ok\": %s}", peak_rss_kb(),
+                 parity ? "true" : "false");
+
+    std::printf("%-24s dinic %8.3f ms  edmonds-karp %8.3f ms  speedup %5.2fx  "
+                "matched %u/%u  parity=%s\n",
+                sc.name, results[0].wall_ms_min, results[1].wall_ms_min,
+                results[0].wall_ms_min > 0 ? results[1].wall_ms_min / results[0].wall_ms_min
+                                           : 0.0,
+                results[0].locally_matched, sc.tasks, parity ? "ok" : "MISMATCH");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return rc;
+}

@@ -11,11 +11,13 @@
 // assignment's invariants and the exit code reports the verdict.
 #include <cstdio>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "graph/max_flow.hpp"
 #include "opass/plan_audit.hpp"
 
 namespace {
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
       .add("seed", "42", "experiment seed")
       .add("compute", "0.0", "mean compute seconds per task (dynamic scenario)")
       .add("placement", "random", "random | hdfs-default | round-robin")
+      .add("plan-algorithm", "dinic", "max-flow solver for Opass planning: dinic | edmonds-karp")
       .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
       .add("audit", "false", "audit the scenario's plan statically instead of simulating")
       .add("help", "false", "show usage");
@@ -120,6 +123,13 @@ int main(int argc, char** argv) {
     cfg.placement = dfs::PlacementKind::kRoundRobin;
   } else if (placement != "random") {
     std::fprintf(stderr, "unknown placement '%s'\n", placement.c_str());
+    return 2;
+  }
+  try {
+    cfg.flow_algorithm = graph::parse_max_flow_algorithm(opts.str("plan-algorithm"));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown plan-algorithm '%s' (dinic | edmonds-karp)\n",
+                 opts.str("plan-algorithm").c_str());
     return 2;
   }
 

@@ -6,7 +6,11 @@
 //
 //   plan_tool --nodes=64 --chunks=640 --out=plan.txt      # compute + save
 //   plan_tool --verify=plan.txt --nodes=64 --chunks=640   # reload + check
+//
+// Planning goes through the unified core::plan() facade; --matcher selects
+// the PlannerKind and --algorithm the max-flow solver.
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/options.hpp"
 #include "opass/opass.hpp"
@@ -21,6 +25,7 @@ int main(int argc, char** argv) {
       .add("replication", "3", "replication factor")
       .add("seed", "42", "layout seed")
       .add("matcher", "flow", "flow | weighted | rack-aware | algorithm1")
+      .add("algorithm", "dinic", "max-flow solver: dinic | edmonds-karp")
       .add("out", "", "write the plan to this file")
       .add("verify", "", "load a plan file and check it against the layout")
       .add("help", "false", "show usage");
@@ -52,43 +57,40 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  runtime::Assignment assignment;
+  core::PlanOptions popts;
   const std::string matcher = opts.str("matcher");
-  Rng arng(7);
   if (matcher == "flow") {
-    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
-    std::printf("flow matcher: %u locally matched, %u filled, full=%s\n",
-                plan.locally_matched, plan.randomly_filled,
-                plan.full_matching ? "yes" : "no");
-    assignment = plan.assignment;
+    popts.planner = core::PlannerKind::kSingleData;
   } else if (matcher == "weighted") {
-    const auto plan = core::assign_single_data_weighted(nn, tasks, placement, arng);
-    std::printf("weighted matcher: %.1f%% bytes local, load %s..%s per process\n",
-                100 * plan.local_fraction(), format_bytes(plan.min_process_bytes).c_str(),
-                format_bytes(plan.max_process_bytes).c_str());
-    assignment = plan.assignment;
+    popts.planner = core::PlannerKind::kWeighted;
   } else if (matcher == "rack-aware") {
-    const auto plan = core::assign_single_data_rack_aware(nn, tasks, placement, arng);
-    std::printf("rack-aware matcher: %u node-local, %u rack-local, %u filled\n",
-                plan.node_local, plan.rack_local, plan.random_filled);
-    assignment = plan.assignment;
+    popts.planner = core::PlannerKind::kRackAware;
   } else if (matcher == "algorithm1") {
-    const auto plan = core::assign_multi_data(nn, tasks, placement);
-    std::printf("algorithm 1: %.1f%% bytes matched, %u reassignments\n",
-                100 * plan.matched_fraction(), plan.reassignments);
-    assignment = plan.assignment;
+    popts.planner = core::PlannerKind::kMultiData;
   } else {
     std::fprintf(stderr, "unknown matcher '%s'\n", matcher.c_str());
     return 2;
   }
+  try {
+    popts.algorithm = graph::parse_max_flow_algorithm(opts.str("algorithm"));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown algorithm '%s' (dinic | edmonds-karp)\n",
+                 opts.str("algorithm").c_str());
+    return 2;
+  }
 
-  const auto stats = core::evaluate_assignment(nn, tasks, assignment, placement);
+  Rng arng(7);
+  const auto result = core::plan({&nn, &tasks, &placement, &arng}, popts);
+  std::printf("%s planner (%s): %u matched, %u filled, %u rack-local, %u reassignments\n",
+              core::planner_kind_name(result.planner),
+              graph::max_flow_algorithm_name(popts.algorithm), result.locally_matched,
+              result.randomly_filled, result.rack_local, result.reassignments);
   std::printf("plan quality: %.1f%% of bytes local, %u..%u tasks/process\n",
-              100 * stats.local_fraction(), stats.min_tasks_per_process,
-              stats.max_tasks_per_process);
+              100 * result.local_fraction(), result.stats.min_tasks_per_process,
+              result.stats.max_tasks_per_process);
 
   if (!opts.str("out").empty()) {
-    core::save_assignment(opts.str("out"), assignment, chunks);
+    core::save_assignment(opts.str("out"), result.assignment, chunks);
     std::printf("plan written to %s\n", opts.str("out").c_str());
   }
   return 0;

@@ -25,6 +25,20 @@ dfs::NameNode make_namenode(const ExperimentConfig& cfg) {
                        cfg.chunk_size);
 }
 
+/// Run the chosen Opass planner through the core::plan() facade with the
+/// experiment's solver knob.
+runtime::Assignment opass_assignment(const ExperimentConfig& cfg, core::PlannerKind kind,
+                                     const dfs::NameNode& nn,
+                                     const std::vector<runtime::Task>& tasks,
+                                     const core::ProcessPlacement& placement, Rng& rng,
+                                     graph::FlowWorkspace* workspace = nullptr) {
+  core::PlanOptions options;
+  options.planner = kind;
+  options.algorithm = cfg.flow_algorithm;
+  options.workspace = workspace;
+  return core::plan({&nn, &tasks, &placement, &rng}, options).assignment;
+}
+
 RunOutput reduce(const dfs::NameNode& nn, const std::vector<runtime::Task>& tasks,
                  const runtime::ExecutionResult& exec, const core::ProcessPlacement& placement,
                  const runtime::Assignment* assignment) {
@@ -63,8 +77,8 @@ PlannedScenario plan_single_data(const ExperimentConfig& cfg, std::uint32_t chun
         runtime::rank_interval_assignment(static_cast<std::uint32_t>(sc.tasks.size()),
                                           static_cast<std::uint32_t>(sc.placement.size()));
   } else {
-    sc.assignment =
-        core::assign_single_data(sc.nn, sc.tasks, sc.placement, streams.assign).assignment;
+    sc.assignment = opass_assignment(cfg, core::PlannerKind::kSingleData, sc.nn, sc.tasks,
+                                     sc.placement, streams.assign);
   }
   return sc;
 }
@@ -82,7 +96,8 @@ PlannedScenario plan_multi_data(const ExperimentConfig& cfg, std::uint32_t task_
     sc.assignment = runtime::rank_interval_assignment(
         task_count, static_cast<std::uint32_t>(sc.placement.size()));
   } else {
-    sc.assignment = core::assign_multi_data(sc.nn, sc.tasks, sc.placement).assignment;
+    sc.assignment = opass_assignment(cfg, core::PlannerKind::kMultiData, sc.nn, sc.tasks,
+                                     sc.placement, streams.assign);
   }
   return sc;
 }
@@ -140,10 +155,11 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   }
   // Opass: the matching-based guideline A*, consumed by the Section IV-D
   // master (own list first, then best-co-located steal from longest list).
-  auto plan = core::assign_single_data(nn, tasks, placement, streams.assign);
-  core::OpassDynamicSource source(plan.assignment, nn, tasks, placement);
+  auto guideline = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, tasks, placement,
+                                    streams.assign);
+  core::OpassDynamicSource source(guideline, nn, tasks, placement);
   const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
-  auto out = reduce(nn, tasks, exec, placement, &plan.assignment);
+  auto out = reduce(nn, tasks, exec, placement, &guideline);
   return out;
 }
 
@@ -164,6 +180,10 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   sim::TraceRecorder all_trace;
   Bytes planned_total = 0, planned_local = 0;
 
+  // One workspace across all rendering steps: per-step replanning reuses the
+  // warmed network/solver arenas instead of reallocating them.
+  graph::FlowWorkspace workspace;
+
   for (const auto& step : wl.steps) {
     // Tasks of this rendering step, renumbered densely for the assigners.
     std::vector<runtime::Task> step_tasks;
@@ -180,8 +200,8 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
           static_cast<std::uint32_t>(step_tasks.size()), m);
     } else {
       // Opass inside ReadXMLData(): assign this step's pieces by matching.
-      assignment = core::assign_single_data(nn, step_tasks, placement, streams.assign)
-                       .assignment;
+      assignment = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, step_tasks,
+                                    placement, streams.assign, &workspace);
     }
     const auto stats = core::evaluate_assignment(nn, step_tasks, assignment, placement);
     planned_total += stats.total_bytes;
@@ -226,7 +246,8 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
     assignment = runtime::rank_interval_assignment(static_cast<std::uint32_t>(tasks.size()),
                                                    static_cast<std::uint32_t>(placement.size()));
   } else {
-    assignment = core::assign_single_data(nn, tasks, placement, streams.assign).assignment;
+    assignment = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, tasks, placement,
+                                  streams.assign);
   }
 
   IterativeOutput out;

@@ -17,6 +17,7 @@
 #include "dfs/namenode.hpp"
 #include "dfs/placement.hpp"
 #include "dfs/replica_choice.hpp"
+#include "graph/max_flow.hpp"
 #include "opass/locality_graph.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/static_partitioner.hpp"
@@ -46,6 +47,10 @@ struct ExperimentConfig {
   /// Parallel processes per node (Marmot has 2 cores per node; the paper
   /// runs one process per node, our default).
   std::uint32_t processes_per_node = 1;
+  /// Max-flow solver used by the Opass flow planners. Both solvers match the
+  /// same (maximum) number of tasks locally; the matched edge sets may
+  /// differ, so fix this when byte-identical plans matter.
+  graph::MaxFlowAlgorithm flow_algorithm = graph::MaxFlowAlgorithm::kDinic;
   sim::ClusterParams cluster;
 };
 

@@ -1,42 +1,45 @@
 #include "graph/max_flow.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <vector>
 
 namespace opass::graph {
 
 namespace {
-constexpr Cap kInf = std::numeric_limits<Cap>::max();
-}
 
-Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t) {
+constexpr Cap kInf = std::numeric_limits<Cap>::max();
+
+void check_terminals(const FlowNetwork& net, NodeIdx s, NodeIdx t) {
   OPASS_REQUIRE(s < net.node_count() && t < net.node_count(), "s/t out of range");
   OPASS_REQUIRE(s != t, "source and sink must differ");
+}
+
+Cap run_edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t, FlowWorkspace& ws) {
+  const NodeIdx n = net.node_count();
   Cap total = 0;
-  std::vector<EdgeIdx> parent_edge(net.node_count());
-  std::vector<char> visited(net.node_count());
   for (;;) {
-    // BFS for the shortest augmenting path in the residual graph.
-    std::fill(visited.begin(), visited.end(), 0);
-    std::deque<NodeIdx> queue{s};
-    visited[s] = 1;
+    // BFS for the shortest augmenting path in the residual graph. The level
+    // array doubles as the visited marker; the queue vector is consumed by a
+    // moving head index so it never reallocates once warm.
+    ws.level.assign(n, -1);
+    ws.parent.assign(n, 0);
+    ws.queue.clear();
+    ws.queue.push_back(s);
+    ws.level[s] = 0;
     bool reached = false;
-    while (!queue.empty() && !reached) {
-      const NodeIdx u = queue.front();
-      queue.pop_front();
+    for (std::size_t head = 0; head < ws.queue.size() && !reached; ++head) {
+      const NodeIdx u = ws.queue[head];
       for (EdgeIdx h : net.residual_adjacency(u)) {
         if (net.residual_capacity(h) <= 0) continue;
         const NodeIdx v = net.residual_to(h);
-        if (visited[v]) continue;
-        visited[v] = 1;
-        parent_edge[v] = h;
+        if (ws.level[v] >= 0) continue;
+        ws.level[v] = ws.level[u] + 1;
+        ws.parent[v] = h;
         if (v == t) {
           reached = true;
           break;
         }
-        queue.push_back(v);
+        ws.queue.push_back(v);
       }
     }
     if (!reached) break;
@@ -46,12 +49,12 @@ Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t) {
     // un-assigns a task from one process and re-assigns it to another.
     Cap bottleneck = kInf;
     for (NodeIdx v = t; v != s;) {
-      const EdgeIdx h = parent_edge[v];
+      const EdgeIdx h = ws.parent[v];
       bottleneck = std::min(bottleneck, net.residual_capacity(h));
       v = net.residual_to(h ^ 1);
     }
     for (NodeIdx v = t; v != s;) {
-      const EdgeIdx h = parent_edge[v];
+      const EdgeIdx h = ws.parent[v];
       net.push(h, bottleneck);
       v = net.residual_to(h ^ 1);
     }
@@ -60,83 +63,123 @@ Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t) {
   return total;
 }
 
-namespace {
-
-/// Dinic state: level graph via BFS, then DFS blocking flow with iterator
-/// memoization (the "current arc" optimization).
-class DinicSolver {
- public:
-  DinicSolver(FlowNetwork& net, NodeIdx s, NodeIdx t)
-      : net_(net), s_(s), t_(t), level_(net.node_count()), it_(net.node_count()) {}
-
-  Cap run() {
-    Cap total = 0;
-    while (build_levels()) {
-      std::fill(it_.begin(), it_.end(), 0);
-      for (;;) {
-        const Cap pushed = augment(s_, kInf);
-        if (pushed == 0) break;
-        total += pushed;
-      }
+/// Dinic level graph: BFS from s over positive-residual edges. Returns true
+/// iff t is reachable.
+bool build_levels(FlowNetwork& net, NodeIdx s, NodeIdx t, FlowWorkspace& ws) {
+  ws.level.assign(net.node_count(), -1);
+  ws.queue.clear();
+  ws.queue.push_back(s);
+  ws.level[s] = 0;
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const NodeIdx u = ws.queue[head];
+    for (EdgeIdx h : net.residual_adjacency(u)) {
+      if (net.residual_capacity(h) <= 0) continue;
+      const NodeIdx v = net.residual_to(h);
+      if (ws.level[v] >= 0) continue;
+      ws.level[v] = ws.level[u] + 1;
+      ws.queue.push_back(v);
     }
-    return total;
   }
+  return ws.level[t] >= 0;
+}
 
- private:
-  bool build_levels() {
-    std::fill(level_.begin(), level_.end(), -1);
-    std::deque<NodeIdx> queue{s_};
-    level_[s_] = 0;
-    while (!queue.empty()) {
-      const NodeIdx u = queue.front();
-      queue.pop_front();
-      for (EdgeIdx h : net_.residual_adjacency(u)) {
-        if (net_.residual_capacity(h) <= 0) continue;
-        const NodeIdx v = net_.residual_to(h);
-        if (level_[v] >= 0) continue;
-        level_[v] = level_[u] + 1;
-        queue.push_back(v);
-      }
+/// One blocking flow over the current level graph, as an iterative DFS with
+/// the current-arc optimization: arc[u] persists across augmenting paths so
+/// every half-edge is inspected at most once per phase, and the explicit
+/// path stack keeps deep networks off the call stack.
+Cap blocking_flow(FlowNetwork& net, NodeIdx s, NodeIdx t, FlowWorkspace& ws) {
+  Cap total = 0;
+  ws.arc.assign(net.node_count(), 0);
+  ws.path.clear();
+  NodeIdx u = s;
+  for (;;) {
+    if (u == t) {
+      Cap bottleneck = kInf;
+      for (EdgeIdx h : ws.path) bottleneck = std::min(bottleneck, net.residual_capacity(h));
+      for (EdgeIdx h : ws.path) net.push(h, bottleneck);
+      total += bottleneck;
+      // Retreat to the tail of the first saturated edge; the saturated arc
+      // is skipped by the advance scan below on the next iteration.
+      std::size_t i = 0;
+      while (i < ws.path.size() && net.residual_capacity(ws.path[i]) > 0) ++i;
+      OPASS_CHECK(i < ws.path.size(), "augmenting path saturated no edge");
+      u = net.residual_to(ws.path[i] ^ 1);
+      ws.path.resize(i);
+      continue;
     }
-    return level_[t_] >= 0;
-  }
-
-  Cap augment(NodeIdx u, Cap limit) {
-    if (u == t_) return limit;
-    const auto& adj = net_.residual_adjacency(u);
-    for (std::size_t& i = it_[u]; i < adj.size(); ++i) {
-      const EdgeIdx h = adj[i];
-      const NodeIdx v = net_.residual_to(h);
-      if (net_.residual_capacity(h) <= 0 || level_[v] != level_[u] + 1) continue;
-      const Cap pushed = augment(v, std::min(limit, net_.residual_capacity(h)));
-      if (pushed > 0) {
-        net_.push(h, pushed);
-        return pushed;
+    const auto adj = net.residual_adjacency(u);
+    bool advanced = false;
+    while (ws.arc[u] < adj.size()) {
+      const EdgeIdx h = adj[ws.arc[u]];
+      const NodeIdx v = net.residual_to(h);
+      if (net.residual_capacity(h) > 0 && ws.level[v] == ws.level[u] + 1) {
+        ws.path.push_back(h);
+        u = v;
+        advanced = true;
+        break;
       }
+      ++ws.arc[u];
     }
-    return 0;
+    if (advanced) continue;
+    if (u == s) break;  // blocking flow complete
+    ws.level[u] = -1;   // dead end: prune u from this phase
+    const EdgeIdx back = ws.path.back();
+    ws.path.pop_back();
+    u = net.residual_to(back ^ 1);
+    ++ws.arc[u];  // the arc into the dead end is spent
   }
+  return total;
+}
 
-  FlowNetwork& net_;
-  NodeIdx s_, t_;
-  std::vector<int> level_;
-  std::vector<std::size_t> it_;
-};
+Cap run_dinic(FlowNetwork& net, NodeIdx s, NodeIdx t, FlowWorkspace& ws) {
+  Cap total = 0;
+  while (build_levels(net, s, t, ws)) total += blocking_flow(net, s, t, ws);
+  return total;
+}
 
 }  // namespace
 
+const char* max_flow_algorithm_name(MaxFlowAlgorithm algo) {
+  return algo == MaxFlowAlgorithm::kEdmondsKarp ? "edmonds-karp" : "dinic";
+}
+
+MaxFlowAlgorithm parse_max_flow_algorithm(const std::string& name) {
+  if (name == "edmonds-karp") return MaxFlowAlgorithm::kEdmondsKarp;
+  if (name == "dinic") return MaxFlowAlgorithm::kDinic;
+  OPASS_REQUIRE(false, "unknown max-flow algorithm name (dinic | edmonds-karp)");
+}
+
+Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t) {
+  check_terminals(net, s, t);
+  FlowWorkspace ws;
+  return run_edmonds_karp(net, s, t, ws);
+}
+
 Cap dinic(FlowNetwork& net, NodeIdx s, NodeIdx t) {
-  OPASS_REQUIRE(s < net.node_count() && t < net.node_count(), "s/t out of range");
-  OPASS_REQUIRE(s != t, "source and sink must differ");
-  return DinicSolver(net, s, t).run();
+  check_terminals(net, s, t);
+  FlowWorkspace ws;
+  return run_dinic(net, s, t, ws);
 }
 
 Cap max_flow(FlowNetwork& net, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo) {
+  check_terminals(net, s, t);
+  FlowWorkspace ws;
   switch (algo) {
     case MaxFlowAlgorithm::kEdmondsKarp:
-      return edmonds_karp(net, s, t);
+      return run_edmonds_karp(net, s, t, ws);
     case MaxFlowAlgorithm::kDinic:
-      return dinic(net, s, t);
+      return run_dinic(net, s, t, ws);
+  }
+  OPASS_CHECK(false, "unknown max-flow algorithm");
+}
+
+Cap max_flow(FlowWorkspace& workspace, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo) {
+  check_terminals(workspace.network, s, t);
+  switch (algo) {
+    case MaxFlowAlgorithm::kEdmondsKarp:
+      return run_edmonds_karp(workspace.network, s, t, workspace);
+    case MaxFlowAlgorithm::kDinic:
+      return run_dinic(workspace.network, s, t, workspace);
   }
   OPASS_CHECK(false, "unknown max-flow algorithm");
 }

@@ -1,11 +1,21 @@
 // Max-flow algorithms.
 //
 // The paper uses Ford–Fulkerson with BFS augmenting paths (i.e. Edmonds–Karp)
-// to solve the Fig. 5 network; we implement that as the reference algorithm
-// and Dinic as a faster alternative for large clusters (ablated in
-// bench/ablation_policies). Both operate on FlowNetwork in place, leaving the
-// final flow readable via FlowNetwork::flow(edge).
+// to solve the Fig. 5 network; we keep it as the reference algorithm for
+// parity testing and run Dinic (level graph + iterative blocking flow with
+// the current-arc optimization) as the default across the planners — on the
+// planner's shallow unit networks Dinic finishes in a handful of phases
+// where Edmonds–Karp pays one BFS per task. Both operate on FlowNetwork in
+// place, leaving the final flow readable via FlowNetwork::flow(edge).
+//
+// FlowWorkspace bundles a reusable network arena with the solvers' scratch
+// arrays. Planners that replan repeatedly (dynamic batches, incremental
+// updates) thread one workspace through every run so steady-state planning
+// performs zero allocation: clear() the network, rebuild the edges into the
+// retained arenas, solve with the retained scratch.
 #pragma once
+
+#include <string>
 
 #include "graph/flow_network.hpp"
 
@@ -18,6 +28,25 @@ enum class MaxFlowAlgorithm {
   kDinic,        ///< level graph + blocking flows, O(V^2 * E), ~O(E*sqrt(V)) on unit nets
 };
 
+/// Stable lower-case name ("dinic" / "edmonds-karp") for CLI flags and
+/// BENCH output; parse_max_flow_algorithm is its inverse (throws
+/// std::invalid_argument on unknown names).
+const char* max_flow_algorithm_name(MaxFlowAlgorithm algo);
+MaxFlowAlgorithm parse_max_flow_algorithm(const std::string& name);
+
+/// Reusable solver state: the network arena plus the per-run scratch arrays.
+/// Everything is sized on demand and keeps its capacity across runs.
+struct FlowWorkspace {
+  FlowNetwork network;            ///< build target; clear() it per plan
+
+  // Solver scratch (contents are meaningless between runs).
+  std::vector<std::int32_t> level;  ///< BFS level per node; -1 = unreached
+  std::vector<EdgeIdx> parent;      ///< Edmonds–Karp: parent half-edge per node
+  std::vector<std::uint32_t> arc;   ///< Dinic: current-arc cursor per node
+  std::vector<NodeIdx> queue;       ///< BFS frontier
+  std::vector<EdgeIdx> path;        ///< Dinic: DFS path of half-edges
+};
+
 /// Run Edmonds–Karp from s to t; returns the max-flow value.
 Cap edmonds_karp(FlowNetwork& net, NodeIdx s, NodeIdx t);
 
@@ -26,5 +55,9 @@ Cap dinic(FlowNetwork& net, NodeIdx s, NodeIdx t);
 
 /// Dispatch on the algorithm enum.
 Cap max_flow(FlowNetwork& net, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo);
+
+/// Workspace form: solve `workspace.network` in place, reusing the
+/// workspace's scratch arrays (no allocation once warm).
+Cap max_flow(FlowWorkspace& workspace, NodeIdx s, NodeIdx t, MaxFlowAlgorithm algo);
 
 }  // namespace opass::graph

@@ -23,6 +23,21 @@
 
 namespace opass::core {
 
+/// How an idle slave picks a task out of the victim's list.
+enum class StealPolicy {
+  /// Paper rule: scan the victim list for the task with the largest
+  /// co-located byte count for the idle slave (O(list) per steal).
+  kBestLocality,
+  /// Cheap rule: take the victim's front task (O(1) per steal). Useful as a
+  /// baseline to quantify what locality-aware stealing buys.
+  kFront,
+};
+
+/// Knobs for the dynamic scheduler (options-last on every entry point).
+struct DynamicOptions {
+  StealPolicy steal_policy = StealPolicy::kBestLocality;
+};
+
 /// The Section IV-D scheduler.
 class OpassDynamicSource final : public runtime::TaskSource {
  public:
@@ -30,7 +45,8 @@ class OpassDynamicSource final : public runtime::TaskSource {
   /// `placement` and `nn` are used to compute co-located sizes for the
   /// stealing rule.
   OpassDynamicSource(runtime::Assignment guideline, const dfs::NameNode& nn,
-                     const std::vector<runtime::Task>& tasks, ProcessPlacement placement);
+                     const std::vector<runtime::Task>& tasks, ProcessPlacement placement,
+                     DynamicOptions options = {});
 
   std::optional<runtime::TaskId> next_task(runtime::ProcessId process, Seconds now) override;
 
@@ -44,6 +60,7 @@ class OpassDynamicSource final : public runtime::TaskSource {
   const dfs::NameNode& nn_;
   const std::vector<runtime::Task>& tasks_;
   ProcessPlacement placement_;
+  DynamicOptions options_;
   std::uint32_t steals_ = 0;
 };
 

@@ -38,30 +38,34 @@ BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batc
   }
 
   // Fig. 5 flow over this batch only, with the batch quotas as capacities.
-  graph::FlowNetwork net;
-  const auto s = net.add_nodes(1);
-  const auto t = net.add_nodes(1);
-  const auto proc0 = net.add_nodes(m);
-  const auto task0 = net.add_nodes(b);
+  // The workspace is cleared, not reconstructed, so steady-state batches do
+  // no allocation. Edge ids are dense in insertion order: s->p edges [0, m),
+  // p->task edges [m, m + k), task->t edges afterwards.
+  graph::FlowNetwork& net = workspace_.network;
+  net.clear(2 + m + b);
+  const graph::NodeIdx s = 0;
+  const graph::NodeIdx t = 1;
+  const graph::NodeIdx proc0 = 2;
+  const graph::NodeIdx task0 = 2 + m;
   for (std::uint32_t p = 0; p < m; ++p)
     net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quota[p]));
-  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
   for (std::uint32_t p = 0; p < m; ++p) {
     for (std::uint32_t i = 0; i < b; ++i) {
-      if (nn_.chunk(batch[i].inputs[0]).has_replica_on(placement_[p])) {
-        pt_edges.push_back({net.add_edge(proc0 + p, task0 + i, 1), {p, i}});
-      }
+      if (nn_.chunk(batch[i].inputs[0]).has_replica_on(placement_[p]))
+        net.add_edge(proc0 + p, task0 + i, 1);
     }
   }
+  const auto pt_count = static_cast<std::uint32_t>(net.edge_count()) - m;
   for (std::uint32_t i = 0; i < b; ++i) net.add_edge(task0 + i, t, 1);
 
-  graph::max_flow(net, s, t, algorithm_);
+  graph::max_flow(workspace_, s, t, algorithm_);
 
   std::vector<char> assigned(b, 0);
   std::vector<std::uint32_t> used(m, 0);
-  for (const auto& [edge, pi] : pt_edges) {
-    if (net.flow(edge) == 1) {
-      const auto [p, i] = pi;
+  for (graph::EdgeIdx e = m; e < m + pt_count; ++e) {
+    if (net.flow(e) == 1) {
+      const std::uint32_t p = net.edge_from(e) - proc0;
+      const std::uint32_t i = net.edge_to(e) - task0;
       plan.assignment[p].push_back(batch[i].id);
       assigned[i] = 1;
       ++used[p];

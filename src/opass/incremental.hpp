@@ -22,7 +22,7 @@
 namespace opass::core {
 
 /// Result of matching one batch.
-struct BatchPlan {
+struct [[nodiscard]] BatchPlan {
   /// Per-process lists of *global* task ids (as supplied in the batch).
   runtime::Assignment assignment;
   std::uint32_t locally_matched = 0;
@@ -50,6 +50,7 @@ class IncrementalPlanner {
   const dfs::NameNode& nn_;
   ProcessPlacement placement_;
   graph::MaxFlowAlgorithm algorithm_;
+  graph::FlowWorkspace workspace_;  ///< reused across batches: no steady-state allocation
   std::vector<std::uint32_t> load_;
   std::uint32_t batches_ = 0;
 };

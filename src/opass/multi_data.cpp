@@ -11,7 +11,8 @@ namespace opass::core {
 
 MultiDataPlan assign_multi_data(const dfs::NameNode& nn,
                                 const std::vector<runtime::Task>& tasks,
-                                const ProcessPlacement& placement) {
+                                const ProcessPlacement& placement,
+                                MultiDataOptions /*options*/) {
   const auto m = static_cast<std::uint32_t>(placement.size());
   const auto n = static_cast<std::uint32_t>(tasks.size());
   OPASS_REQUIRE(m > 0, "need at least one process");

@@ -22,8 +22,13 @@
 
 namespace opass::core {
 
+/// Knobs for the multi-data matcher (options-last on every entry point).
+/// Algorithm 1 is a deterministic greedy with no tunables today; the struct
+/// reserves the slot so future knobs don't break call sites.
+struct MultiDataOptions {};
+
 /// Result of the multi-data matching.
-struct MultiDataPlan {
+struct [[nodiscard]] MultiDataPlan {
   runtime::Assignment assignment;  ///< per-process task lists, quota each
   Bytes matched_bytes = 0;   ///< sum over assigned (p, t) of co-located bytes
   Bytes total_bytes = 0;     ///< sum of all task input bytes
@@ -40,6 +45,7 @@ struct MultiDataPlan {
 /// n%m processes taking one extra.
 MultiDataPlan assign_multi_data(const dfs::NameNode& nn,
                                 const std::vector<runtime::Task>& tasks,
-                                const ProcessPlacement& placement);
+                                const ProcessPlacement& placement,
+                                MultiDataOptions options = {});
 
 }  // namespace opass::core

@@ -3,7 +3,7 @@
 // Typical use:
 //
 //   auto placement = opass::core::one_process_per_node(nn);
-//   auto plan = opass::core::assign_single_data(nn, tasks, placement, rng);
+//   auto plan = opass::core::plan({&nn, &tasks, &placement, &rng});
 //   opass::runtime::StaticAssignmentSource source(plan.assignment);
 //   auto result = opass::runtime::execute(cluster, nn, tasks, source, rng);
 //
@@ -18,6 +18,7 @@
 #include "opass/plan_io.hpp"
 #include "opass/hdfs_integration.hpp"
 #include "opass/incremental.hpp"
+#include "opass/planner.hpp"
 #include "opass/rack_aware.hpp"
 #include "opass/single_data.hpp"
 #include "opass/weighted_single_data.hpp"

@@ -1,0 +1,98 @@
+#include "opass/planner.hpp"
+
+#include "common/require.hpp"
+#include "opass/multi_data.hpp"
+#include "opass/rack_aware.hpp"
+#include "opass/single_data.hpp"
+#include "opass/weighted_single_data.hpp"
+
+namespace opass::core {
+
+const char* planner_kind_name(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kSingleData: return "single-data";
+    case PlannerKind::kWeighted: return "weighted";
+    case PlannerKind::kRackAware: return "rack-aware";
+    case PlannerKind::kMultiData: return "multi-data";
+  }
+  OPASS_CHECK(false, "unhandled PlannerKind");
+}
+
+PlannerKind parse_planner_kind(const std::string& name) {
+  if (name == "single-data") return PlannerKind::kSingleData;
+  if (name == "weighted") return PlannerKind::kWeighted;
+  if (name == "rack-aware") return PlannerKind::kRackAware;
+  if (name == "multi-data") return PlannerKind::kMultiData;
+  OPASS_REQUIRE(false,
+                "unknown planner name (single-data | weighted | rack-aware | multi-data)");
+}
+
+namespace {
+
+void validate(const PlanRequest& request, PlannerKind planner) {
+  OPASS_REQUIRE(request.nn != nullptr, "PlanRequest.nn must be set");
+  OPASS_REQUIRE(request.tasks != nullptr, "PlanRequest.tasks must be set");
+  OPASS_REQUIRE(request.placement != nullptr, "PlanRequest.placement must be set");
+  if (planner != PlannerKind::kMultiData)
+    OPASS_REQUIRE(request.rng != nullptr, "PlanRequest.rng must be set for flow planners");
+}
+
+}  // namespace
+
+PlanResult plan(const PlanRequest& request, PlanOptions options) {
+  validate(request, options.planner);
+  const dfs::NameNode& nn = *request.nn;
+  const auto& tasks = *request.tasks;
+  const auto& placement = *request.placement;
+
+  PlanResult result;
+  result.planner = options.planner;
+  switch (options.planner) {
+    case PlannerKind::kSingleData: {
+      auto p = assign_single_data(nn, tasks, placement, *request.rng,
+                                  {options.algorithm, options.workspace});
+      result.assignment = std::move(p.assignment);
+      result.locally_matched = p.locally_matched;
+      result.randomly_filled = p.randomly_filled;
+      break;
+    }
+    case PlannerKind::kWeighted: {
+      auto p = assign_single_data_weighted(nn, tasks, placement, *request.rng,
+                                           {options.algorithm, options.workspace});
+      result.assignment = std::move(p.assignment);
+      result.locally_matched = p.flow_assigned;
+      result.randomly_filled = p.fill_assigned;
+      result.matched_bytes = p.local_bytes;
+      break;
+    }
+    case PlannerKind::kRackAware: {
+      auto p = assign_single_data_rack_aware(nn, tasks, placement, *request.rng,
+                                             RackAwareOptions{options.algorithm,
+                                                              options.workspace});
+      result.assignment = std::move(p.assignment);
+      result.locally_matched = p.node_local;
+      result.rack_local = p.rack_local;
+      result.randomly_filled = p.random_filled;
+      break;
+    }
+    case PlannerKind::kMultiData: {
+      auto p = assign_multi_data(nn, tasks, placement);
+      result.assignment = std::move(p.assignment);
+      result.reassignments = p.reassignments;
+      result.matched_bytes = p.matched_bytes;
+      break;
+    }
+  }
+  result.stats = evaluate_assignment(nn, tasks, result.assignment, placement);
+  return result;
+}
+
+std::unique_ptr<OpassDynamicSource> make_dynamic_source(const PlanRequest& request,
+                                                        PlanOptions options) {
+  PlanResult guideline = plan(request, options);
+  return std::make_unique<OpassDynamicSource>(std::move(guideline.assignment), *request.nn,
+                                              *request.tasks, *request.placement,
+                                              DynamicOptions{options.steal_policy});
+}
+
+}  // namespace opass::core

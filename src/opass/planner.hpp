@@ -1,0 +1,96 @@
+// Unified planning facade over the Opass matchers.
+//
+// The library grew one free function per planner (single-data flow, byte-
+// weighted flow, rack-aware two-phase flow, multi-data stable matching),
+// each with its own result struct. Callers that switch planners — the CLI,
+// the experiment harness, benchmarks — ended up with a hand-rolled dispatch
+// per call site. plan() centralizes that: one request, one options struct
+// (options-last, defaulted), one result carrying the assignment, uniform
+// AssignmentStats, and the planner-specific counters that still matter.
+//
+// The per-planner free functions remain the documented low-level entry
+// points; the facade dispatches to them and adds nothing but the uniform
+// packaging, so existing call sites keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "graph/max_flow.hpp"
+#include "opass/assignment_stats.hpp"
+#include "opass/dynamic_scheduler.hpp"
+#include "opass/locality_graph.hpp"
+#include "runtime/static_partitioner.hpp"
+#include "runtime/task.hpp"
+
+namespace opass::core {
+
+/// Which matcher plan() dispatches to.
+enum class PlannerKind {
+  kSingleData,    ///< Fig. 5 unit-capacity max-flow + random fill
+  kWeighted,      ///< Fig. 5 with byte capacities + balance fill
+  kRackAware,     ///< two-phase (node-local, rack-local) flow + random fill
+  kMultiData,     ///< Algorithm 1 stable-marriage greedy
+};
+
+/// Canonical name ("single-data", "weighted", "rack-aware", "multi-data").
+const char* planner_kind_name(PlannerKind kind);
+
+/// Inverse of planner_kind_name(); throws std::invalid_argument otherwise.
+PlannerKind parse_planner_kind(const std::string& name);
+
+/// Everything a planner needs to run. The referenced objects must outlive
+/// the plan() call; nothing is copied.
+struct PlanRequest {
+  const dfs::NameNode* nn = nullptr;
+  const std::vector<runtime::Task>* tasks = nullptr;
+  const ProcessPlacement* placement = nullptr;
+  /// Required by the flow planners for their random-fill phase; kMultiData
+  /// is deterministic and ignores it.
+  Rng* rng = nullptr;
+};
+
+/// Knobs shared by every planner (options-last on every entry point).
+struct PlanOptions {
+  PlannerKind planner = PlannerKind::kSingleData;
+  /// Max-flow solver for the flow-based planners; ignored by kMultiData.
+  graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kDinic;
+  /// Optional reusable network + solver arenas for the flow-based planners.
+  graph::FlowWorkspace* workspace = nullptr;
+  /// Steal rule used by make_dynamic_source().
+  StealPolicy steal_policy = StealPolicy::kBestLocality;
+};
+
+/// Uniform result: the assignment, its locality/balance profile, and the
+/// planner-specific counters (fields not produced by the chosen planner
+/// stay zero).
+struct [[nodiscard]] PlanResult {
+  PlannerKind planner = PlannerKind::kSingleData;
+  runtime::Assignment assignment;
+  AssignmentStats stats;
+
+  // Flow planners (kSingleData, kRackAware; kWeighted reports fill_assigned).
+  std::uint32_t locally_matched = 0;  ///< tasks matched by a max-flow phase
+  std::uint32_t randomly_filled = 0;  ///< tasks placed by a fill pass
+  std::uint32_t rack_local = 0;       ///< kRackAware: phase-2 matches
+
+  // kMultiData.
+  std::uint32_t reassignments = 0;  ///< Algorithm 1 steal-backs
+  Bytes matched_bytes = 0;          ///< co-located bytes of the final matching
+
+  double local_fraction() const { return stats.local_fraction(); }
+};
+
+/// Run the planner selected by `options.planner` and package the result.
+PlanResult plan(const PlanRequest& request, PlanOptions options = {});
+
+/// Build the Section IV-D dynamic source seeded with plan()'s assignment as
+/// the guideline A*. The request's nn/tasks/placement must outlive the
+/// returned source.
+std::unique_ptr<OpassDynamicSource> make_dynamic_source(const PlanRequest& request,
+                                                        PlanOptions options = {});
+
+}  // namespace opass::core

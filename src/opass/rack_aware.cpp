@@ -18,31 +18,32 @@ std::uint32_t match_phase(std::uint32_t m, const std::vector<std::uint32_t>& quo
                           std::vector<std::uint32_t>& owner,
                           const std::vector<std::uint32_t>& open,
                           const std::function<bool(std::uint32_t, std::uint32_t)>& has_edge,
-                          graph::MaxFlowAlgorithm algorithm) {
-  graph::FlowNetwork net;
-  const auto s = net.add_nodes(1);
-  const auto t = net.add_nodes(1);
-  const auto proc0 = net.add_nodes(m);
-  const auto task0 = net.add_nodes(static_cast<graph::NodeIdx>(open.size()));
+                          graph::MaxFlowAlgorithm algorithm, graph::FlowWorkspace& ws) {
+  const auto open_count = static_cast<graph::NodeIdx>(open.size());
+  graph::FlowNetwork& net = ws.network;
+  net.clear(2 + m + open_count);
+  const graph::NodeIdx s = 0;
+  const graph::NodeIdx t = 1;
+  const graph::NodeIdx proc0 = 2;
+  const graph::NodeIdx task0 = 2 + m;
   for (std::uint32_t p = 0; p < m; ++p)
     net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quotas[p] - used[p]));
 
-  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
   for (std::uint32_t p = 0; p < m; ++p) {
-    for (std::uint32_t oi = 0; oi < open.size(); ++oi) {
-      if (has_edge(p, open[oi])) {
-        pt_edges.push_back({net.add_edge(proc0 + p, task0 + oi, 1), {p, open[oi]}});
-      }
+    for (std::uint32_t oi = 0; oi < open_count; ++oi) {
+      if (has_edge(p, open[oi])) net.add_edge(proc0 + p, task0 + oi, 1);
     }
   }
-  for (std::uint32_t oi = 0; oi < open.size(); ++oi) net.add_edge(task0 + oi, t, 1);
+  const auto pt_count = static_cast<std::uint32_t>(net.edge_count()) - m;
+  for (std::uint32_t oi = 0; oi < open_count; ++oi) net.add_edge(task0 + oi, t, 1);
 
-  graph::max_flow(net, s, t, algorithm);
+  graph::max_flow(ws, s, t, algorithm);
 
   std::uint32_t matched = 0;
-  for (const auto& [edge, pt] : pt_edges) {
-    if (net.flow(edge) == 1) {
-      const auto [p, task] = pt;
+  for (graph::EdgeIdx e = m; e < m + pt_count; ++e) {
+    if (net.flow(e) == 1) {
+      const std::uint32_t p = net.edge_from(e) - proc0;
+      const std::uint32_t task = open[net.edge_to(e) - task0];
       owner[task] = p;
       ++used[p];
       ++matched;
@@ -56,7 +57,7 @@ std::uint32_t match_phase(std::uint32_t m, const std::vector<std::uint32_t>& quo
 RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
                                             const std::vector<runtime::Task>& tasks,
                                             const ProcessPlacement& placement, Rng& rng,
-                                            graph::MaxFlowAlgorithm algorithm) {
+                                            RackAwareOptions options) {
   const auto m = static_cast<std::uint32_t>(placement.size());
   const auto n = static_cast<std::uint32_t>(tasks.size());
   OPASS_REQUIRE(m > 0, "need at least one process");
@@ -67,6 +68,9 @@ RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
 
   const auto quotas = equal_quotas(n, m);
   const auto& topo = nn.topology();
+
+  graph::FlowWorkspace local_ws;
+  graph::FlowWorkspace& ws = options.workspace ? *options.workspace : local_ws;
 
   std::vector<std::uint32_t> owner(n, UINT32_MAX);
   std::vector<std::uint32_t> used(m, 0);
@@ -80,7 +84,7 @@ RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
       [&](std::uint32_t p, std::uint32_t t) {
         return nn.chunk(tasks[t].inputs[0]).has_replica_on(placement[p]);
       },
-      algorithm);
+      options.algorithm, ws);
 
   // Phase 2: rack-local over the remainder.
   open.clear();
@@ -95,7 +99,7 @@ RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
             if (topo.rack_of(rep) == rack) return true;
           return false;
         },
-        algorithm);
+        options.algorithm, ws);
   }
 
   // Phase 3: random fill of the rest.

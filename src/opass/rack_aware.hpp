@@ -24,8 +24,15 @@
 
 namespace opass::core {
 
+/// Knobs for the rack-aware assigner (options-last on every entry point).
+struct RackAwareOptions {
+  graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kDinic;
+  /// Optional reusable network + solver arenas shared by both match phases.
+  graph::FlowWorkspace* workspace = nullptr;
+};
+
 /// Result of the three-phase matching.
-struct RackAwarePlan {
+struct [[nodiscard]] RackAwarePlan {
   runtime::Assignment assignment;
   std::uint32_t node_local = 0;  ///< tasks matched on the process's node
   std::uint32_t rack_local = 0;  ///< tasks matched within the process's rack
@@ -39,7 +46,16 @@ struct RackAwarePlan {
 RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
                                             const std::vector<runtime::Task>& tasks,
                                             const ProcessPlacement& placement, Rng& rng,
-                                            graph::MaxFlowAlgorithm algorithm =
-                                                graph::MaxFlowAlgorithm::kDinic);
+                                            RackAwareOptions options = {});
+
+/// Legacy algorithm-enum form, kept source-compatible; prefer the
+/// options-last overload (or the plan() facade).
+inline RackAwarePlan assign_single_data_rack_aware(const dfs::NameNode& nn,
+                                                   const std::vector<runtime::Task>& tasks,
+                                                   const ProcessPlacement& placement, Rng& rng,
+                                                   graph::MaxFlowAlgorithm algorithm) {
+  return assign_single_data_rack_aware(nn, tasks, placement, rng,
+                                       RackAwareOptions{algorithm, nullptr});
+}
 
 }  // namespace opass::core

@@ -26,40 +26,48 @@ SingleDataPlan assign_single_data(const dfs::NameNode& nn,
 
   const auto quotas = equal_quotas(n, m);
 
-  // Build the Fig. 5 network: node 0 = s, node 1 = t, then processes, then
-  // tasks.
-  graph::FlowNetwork net;
-  const auto s = net.add_nodes(1);
-  const auto t = net.add_nodes(1);
-  const auto proc0 = net.add_nodes(m);
-  const auto task0 = net.add_nodes(n);
-
-  for (std::uint32_t p = 0; p < m; ++p) net.add_edge(s, proc0 + p, quotas[p]);
-
-  // Process -> task edges where the task's chunk is co-located. Track the
-  // edge ids so flows can be read back into an assignment.
-  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
+  // Processes hosted on each node, so locality edges are discovered from the
+  // replica lists in O(n * r) instead of scanning all m * n pairs.
+  std::vector<std::vector<std::uint32_t>> procs_on_node(nn.node_count());
   for (std::uint32_t p = 0; p < m; ++p) {
     const dfs::NodeId node = placement[p];
     OPASS_REQUIRE(node < nn.node_count(), "process placed on unknown node");
-    for (std::uint32_t ti = 0; ti < n; ++ti) {
-      if (nn.chunk(tasks[ti].inputs[0]).has_replica_on(node)) {
-        pt_edges.push_back({net.add_edge(proc0 + p, task0 + ti, 1), {p, ti}});
-      }
+    procs_on_node[node].push_back(p);
+  }
+
+  // Build the Fig. 5 network into the (possibly caller-provided) workspace:
+  // node 0 = s, node 1 = t, then processes, then tasks. Edge ids are dense in
+  // insertion order — s->p edges are [0, m), p->task edges [m, m + k), task->t
+  // edges [m + k, m + k + n) — so flows are read back without an id map.
+  graph::FlowWorkspace local_ws;
+  graph::FlowWorkspace& ws = options.workspace ? *options.workspace : local_ws;
+  graph::FlowNetwork& net = ws.network;
+  net.clear(2 + m + n);
+  const graph::NodeIdx s = 0;
+  const graph::NodeIdx t = 1;
+  const graph::NodeIdx proc0 = 2;
+  const graph::NodeIdx task0 = 2 + m;
+
+  for (std::uint32_t p = 0; p < m; ++p) net.add_edge(s, proc0 + p, quotas[p]);
+  for (std::uint32_t ti = 0; ti < n; ++ti) {
+    for (dfs::NodeId rep : nn.chunk(tasks[ti].inputs[0]).replicas) {
+      for (std::uint32_t p : procs_on_node[rep]) net.add_edge(proc0 + p, task0 + ti, 1);
     }
   }
+  const auto pt_count = static_cast<std::uint32_t>(net.edge_count()) - m;
   for (std::uint32_t ti = 0; ti < n; ++ti) net.add_edge(task0 + ti, t, 1);
 
-  const graph::Cap flow = graph::max_flow(net, s, t, options.algorithm);
+  const graph::Cap flow = graph::max_flow(ws, s, t, options.algorithm);
   OPASS_CHECK(flow >= 0 && flow <= n, "max-flow value out of range");
 
   SingleDataPlan plan;
   plan.assignment.assign(m, {});
   std::vector<char> task_assigned(n, 0);
   std::vector<std::uint32_t> used(m, 0);
-  for (const auto& [edge, pt] : pt_edges) {
-    if (net.flow(edge) == 1) {
-      const auto [p, ti] = pt;
+  for (graph::EdgeIdx e = m; e < m + pt_count; ++e) {
+    if (net.flow(e) == 1) {
+      const std::uint32_t p = net.edge_from(e) - proc0;
+      const std::uint32_t ti = net.edge_to(e) - task0;
       plan.assignment[p].push_back(ti);
       task_assigned[ti] = 1;
       ++used[p];

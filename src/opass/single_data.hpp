@@ -11,11 +11,15 @@
 // and quotas are an equal number of tasks; unit capacities also guarantee
 // that an integral max-flow never splits a task between processes.
 //
-// The max-flow (Ford–Fulkerson with BFS, i.e. Edmonds–Karp, as in the paper;
-// Dinic optionally) yields the maximum number of locally served tasks. When
-// the layout is too skewed for a full matching, the unmatched tasks are
-// distributed randomly over processes with remaining quota, exactly as
-// Section IV-B prescribes.
+// The max-flow (Dinic by default; Edmonds–Karp — the paper's Ford–Fulkerson
+// with BFS — retained for parity testing) yields the maximum number of
+// locally served tasks. When the layout is too skewed for a full matching,
+// the unmatched tasks are distributed randomly over processes with remaining
+// quota, exactly as Section IV-B prescribes.
+//
+// Prefer the unified opass::core::plan() facade (planner.hpp) in new code;
+// this free function remains as the documented low-level entry point the
+// facade dispatches to.
 #pragma once
 
 #include <cstdint>
@@ -29,13 +33,17 @@
 
 namespace opass::core {
 
-/// Knobs for the single-data assigner.
+/// Knobs for the single-data assigner (options-last on every entry point).
 struct SingleDataOptions {
-  graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kEdmondsKarp;
+  graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kDinic;
+  /// When set, the network and solver scratch are built into this workspace
+  /// and reused across calls — repeated replanning allocates nothing once
+  /// the arenas are warm.
+  graph::FlowWorkspace* workspace = nullptr;
 };
 
 /// Result of the flow-based assignment.
-struct SingleDataPlan {
+struct [[nodiscard]] SingleDataPlan {
   runtime::Assignment assignment;   ///< per-process task lists
   std::uint32_t locally_matched = 0;  ///< tasks assigned to a co-located process
   std::uint32_t randomly_filled = 0;  ///< tasks placed by the random fill pass

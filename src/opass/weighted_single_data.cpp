@@ -28,39 +28,49 @@ WeightedPlan assign_single_data_weighted(const dfs::NameNode& nn,
   }
   const Bytes quota = plan.total_bytes / m + (plan.total_bytes % m ? 1 : 0);
 
-  // Fig. 5 with byte capacities.
-  graph::FlowNetwork net;
-  const auto s = net.add_nodes(1);
-  const auto t = net.add_nodes(1);
-  const auto proc0 = net.add_nodes(m);
-  const auto task0 = net.add_nodes(n);
-  for (std::uint32_t p = 0; p < m; ++p)
-    net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quota));
-
-  std::vector<std::pair<graph::EdgeIdx, std::pair<std::uint32_t, std::uint32_t>>> pt_edges;
+  // Processes per node, so locality edges are found from replica lists in
+  // O(n * r) instead of all m * n pairs (same scheme as assign_single_data).
+  std::vector<std::vector<std::uint32_t>> procs_on_node(nn.node_count());
   for (std::uint32_t p = 0; p < m; ++p) {
     const dfs::NodeId node = placement[p];
     OPASS_REQUIRE(node < nn.node_count(), "process placed on unknown node");
-    for (std::uint32_t ti = 0; ti < n; ++ti) {
-      if (nn.chunk(tasks[ti].inputs[0]).has_replica_on(node)) {
-        pt_edges.push_back(
-            {net.add_edge(proc0 + p, task0 + ti, static_cast<graph::Cap>(size[ti])),
-             {p, ti}});
-      }
+    procs_on_node[node].push_back(p);
+  }
+
+  // Fig. 5 with byte capacities, built into the reusable workspace. Edge ids
+  // are dense in insertion order: s->p edges [0, m), p->task edges
+  // [m, m + k), task->t edges afterwards.
+  graph::FlowWorkspace local_ws;
+  graph::FlowWorkspace& ws = options.workspace ? *options.workspace : local_ws;
+  graph::FlowNetwork& net = ws.network;
+  net.clear(2 + m + n);
+  const graph::NodeIdx s = 0;
+  const graph::NodeIdx t = 1;
+  const graph::NodeIdx proc0 = 2;
+  const graph::NodeIdx task0 = 2 + m;
+  for (std::uint32_t p = 0; p < m; ++p)
+    net.add_edge(s, proc0 + p, static_cast<graph::Cap>(quota));
+
+  for (std::uint32_t ti = 0; ti < n; ++ti) {
+    for (dfs::NodeId rep : nn.chunk(tasks[ti].inputs[0]).replicas) {
+      for (std::uint32_t p : procs_on_node[rep])
+        net.add_edge(proc0 + p, task0 + ti, static_cast<graph::Cap>(size[ti]));
     }
   }
+  const auto pt_count = static_cast<std::uint32_t>(net.edge_count()) - m;
   for (std::uint32_t ti = 0; ti < n; ++ti)
     net.add_edge(task0 + ti, t, static_cast<graph::Cap>(size[ti]));
 
-  graph::max_flow(net, s, t, options.algorithm);
+  graph::max_flow(ws, s, t, options.algorithm);
 
   // Task -> co-located process carrying the most of its flow.
   std::vector<std::uint32_t> owner(n, UINT32_MAX);
   std::vector<graph::Cap> best_flow(n, 0);
-  for (const auto& [edge, pt] : pt_edges) {
-    const graph::Cap f = net.flow(edge);
+  for (graph::EdgeIdx e = m; e < m + pt_count; ++e) {
+    const graph::Cap f = net.flow(e);
     if (f <= 0) continue;
-    const auto [p, ti] = pt;
+    const std::uint32_t p = net.edge_from(e) - proc0;
+    const std::uint32_t ti = net.edge_to(e) - task0;
     if (f > best_flow[ti] || (f == best_flow[ti] && owner[ti] != UINT32_MAX && p < owner[ti])) {
       best_flow[ti] = f;
       owner[ti] = p;

@@ -27,7 +27,7 @@
 namespace opass::core {
 
 /// Result of the byte-weighted assignment.
-struct WeightedPlan {
+struct [[nodiscard]] WeightedPlan {
   runtime::Assignment assignment;
   Bytes local_bytes = 0;      ///< bytes assigned to a co-located process
   Bytes total_bytes = 0;
@@ -42,9 +42,11 @@ struct WeightedPlan {
   }
 };
 
-/// Knobs for the weighted assigner.
+/// Knobs for the weighted assigner (options-last on every entry point).
 struct WeightedOptions {
   graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kDinic;
+  /// Optional reusable network + solver arenas (see SingleDataOptions).
+  graph::FlowWorkspace* workspace = nullptr;
 };
 
 /// Compute the byte-balanced Opass assignment. Every task must have exactly

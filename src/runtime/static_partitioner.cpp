@@ -15,6 +15,7 @@ Assignment rank_interval_assignment(std::uint32_t task_count, std::uint32_t proc
         (static_cast<std::uint64_t>(i) * task_count) / process_count);
     const auto hi = static_cast<std::uint32_t>(
         (static_cast<std::uint64_t>(i + 1) * task_count) / process_count);
+    a[i].reserve(hi - lo);
     for (std::uint32_t t = lo; t < hi; ++t) a[i].push_back(t);
   }
   return a;

@@ -69,5 +69,48 @@ TEST(FlowNetwork, AdjacencyContainsBothDirections) {
   EXPECT_EQ(net.residual_adjacency(1).size(), 1u);  // the residual reverse
 }
 
+TEST(FlowNetwork, AdjacencyPreservesInsertionOrder) {
+  // The CSR finalize must keep each node's half-edges in insertion order so
+  // solver traversals stay deterministic.
+  FlowNetwork net(4);
+  const EdgeIdx a = net.add_edge(0, 1, 1);
+  const EdgeIdx b = net.add_edge(0, 2, 1);
+  const EdgeIdx c = net.add_edge(0, 3, 1);
+  const auto adj = net.residual_adjacency(0);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0], a * 2);
+  EXPECT_EQ(adj[1], b * 2);
+  EXPECT_EQ(adj[2], c * 2);
+}
+
+TEST(FlowNetwork, AddEdgeAfterAdjacencyReadRebuildsCsr) {
+  // Reading adjacency finalizes the CSR; a later add_edge must invalidate
+  // and rebuild it.
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 1);
+  EXPECT_EQ(net.residual_adjacency(0).size(), 1u);
+  net.add_edge(0, 2, 1);
+  EXPECT_EQ(net.residual_adjacency(0).size(), 2u);
+  EXPECT_EQ(net.residual_adjacency(2).size(), 1u);
+}
+
+TEST(FlowNetwork, ClearResetsStateAndAllowsReuse) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 2, 5);
+  EXPECT_EQ(net.residual_adjacency(1).size(), 2u);
+
+  net.clear(2);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.edge_count(), 0u);
+  EXPECT_EQ(net.residual_adjacency(0).size(), 0u);
+
+  const EdgeIdx e = net.add_edge(0, 1, 3);
+  EXPECT_EQ(net.capacity(e), 3);
+  EXPECT_EQ(net.flow(e), 0);
+  EXPECT_EQ(net.residual_adjacency(0).size(), 1u);
+  EXPECT_THROW(net.add_edge(0, 3, 1), std::invalid_argument);  // old nodes gone
+}
+
 }  // namespace
 }  // namespace opass::graph

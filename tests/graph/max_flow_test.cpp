@@ -160,5 +160,32 @@ TEST(MaxFlowAgreement, RandomNetworksAgreeAcrossAlgorithms) {
   }
 }
 
+TEST(FlowWorkspace, ReuseAcrossSolvesReproducesValues) {
+  // One workspace, many networks: clear() + rebuild between solves must give
+  // the same values as fresh networks, for both solvers.
+  FlowWorkspace ws;
+  for (const auto algo : {MaxFlowAlgorithm::kDinic, MaxFlowAlgorithm::kEdmondsKarp}) {
+    ws.network.clear(4);
+    ws.network.add_edge(0, 1, 5);
+    ws.network.add_edge(1, 3, 4);
+    ws.network.add_edge(0, 2, 3);
+    ws.network.add_edge(2, 3, 6);
+    EXPECT_EQ(max_flow(ws, 0, 3, algo), 7);
+
+    ws.network.clear(3);
+    ws.network.add_edge(0, 1, 10);
+    ws.network.add_edge(1, 2, 3);
+    EXPECT_EQ(max_flow(ws, 0, 2, algo), 3);
+  }
+}
+
+TEST(MaxFlowNames, NameAndParseRoundTrip) {
+  EXPECT_STREQ(max_flow_algorithm_name(MaxFlowAlgorithm::kDinic), "dinic");
+  EXPECT_STREQ(max_flow_algorithm_name(MaxFlowAlgorithm::kEdmondsKarp), "edmonds-karp");
+  EXPECT_EQ(parse_max_flow_algorithm("dinic"), MaxFlowAlgorithm::kDinic);
+  EXPECT_EQ(parse_max_flow_algorithm("edmonds-karp"), MaxFlowAlgorithm::kEdmondsKarp);
+  EXPECT_THROW(parse_max_flow_algorithm("ford-fulkerson"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace opass::graph

@@ -1,0 +1,108 @@
+// Randomized solver-parity property: on generated layouts, Dinic and
+// Edmonds–Karp are both maximum-flow solvers, so every planner built on them
+// must report the same number of locally matched tasks — and every plan they
+// emit must pass the static auditor. This is the regression net for swapping
+// the default solver: a broken Dinic phase/blocking-flow would show up as a
+// sub-maximum matching on some layout here.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opass/opass.hpp"
+#include "workload/dataset.hpp"
+
+namespace opass::core {
+namespace {
+
+struct Layout {
+  dfs::NameNode nn;
+  std::vector<runtime::Task> tasks;
+  ProcessPlacement placement;
+};
+
+/// Generate a random cluster layout: size, replication, and placement policy
+/// all drawn from the seed.
+Layout make_layout(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto nodes = static_cast<std::uint32_t>(4 + rng.uniform(28));
+  const auto replication = static_cast<std::uint32_t>(1 + rng.uniform(3));
+  const auto tasks_per_node = static_cast<std::uint32_t>(1 + rng.uniform(12));
+  Layout layout{dfs::NameNode(dfs::Topology::single_rack(nodes), replication), {}, {}};
+
+  const auto kind = rng.uniform(3);
+  std::unique_ptr<dfs::PlacementPolicy> policy;
+  if (kind == 0) {
+    policy = std::make_unique<dfs::RandomPlacement>();
+  } else if (kind == 1) {
+    policy = std::make_unique<dfs::RoundRobinPlacement>();
+  } else {
+    policy = dfs::make_placement(dfs::PlacementKind::kHdfsDefault);
+  }
+  layout.tasks = workload::make_single_data_workload(layout.nn, nodes * tasks_per_node,
+                                                     *policy, rng);
+  layout.placement = one_process_per_node(layout.nn);
+  return layout;
+}
+
+TEST(FlowParity, SingleDataMatchesAreEqualAndAudited) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto layout = make_layout(seed);
+    Rng rng_dinic(seed + 1), rng_ek(seed + 1);
+    const auto dinic = assign_single_data(layout.nn, layout.tasks, layout.placement, rng_dinic,
+                                          {graph::MaxFlowAlgorithm::kDinic});
+    const auto ek = assign_single_data(layout.nn, layout.tasks, layout.placement, rng_ek,
+                                       {graph::MaxFlowAlgorithm::kEdmondsKarp});
+    EXPECT_EQ(dinic.locally_matched, ek.locally_matched) << "seed " << seed;
+
+    AuditOptions audit;
+    audit.enforce_capacity = true;
+    for (const auto* plan : {&dinic, &ek}) {
+      const auto report =
+          audit_plan(layout.nn, layout.tasks, plan->assignment, layout.placement, audit);
+      EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.to_string();
+    }
+  }
+}
+
+TEST(FlowParity, RackAwarePhaseTotalsAreEqual) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng lrng(seed + 500);
+    const auto nodes = static_cast<std::uint32_t>(8 + lrng.uniform(24));
+    dfs::NameNode nn(dfs::Topology::uniform_racks(nodes, 4), 2);
+    dfs::RandomPlacement policy;
+    const auto tasks = workload::make_single_data_workload(nn, nn.node_count() * 6, policy,
+                                                           lrng);
+    const auto placement = one_process_per_node(nn);
+
+    Rng rng_dinic(seed + 1), rng_ek(seed + 1);
+    const auto dinic = assign_single_data_rack_aware(
+        nn, tasks, placement, rng_dinic, RackAwareOptions{graph::MaxFlowAlgorithm::kDinic});
+    const auto ek = assign_single_data_rack_aware(
+        nn, tasks, placement, rng_ek, RackAwareOptions{graph::MaxFlowAlgorithm::kEdmondsKarp});
+    // Phase 1 is a max-flow, so node-local counts agree exactly. Phase 2
+    // runs on each solver's own phase-1 remainder, so only the invariant
+    // "no solver leaves locality on the table overall" is comparable.
+    EXPECT_EQ(dinic.node_local, ek.node_local) << "seed " << seed;
+    EXPECT_EQ(dinic.task_count(), ek.task_count()) << "seed " << seed;
+  }
+}
+
+TEST(FlowParity, WorkspaceReuseReproducesTheFreshPlan) {
+  // A shared workspace must be invisible in the results: replanning many
+  // layouts through one workspace gives byte-identical assignments to fresh
+  // per-call networks.
+  graph::FlowWorkspace ws;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const auto layout = make_layout(seed);
+    Rng rng_fresh(seed), rng_reused(seed);
+    const auto fresh = assign_single_data(layout.nn, layout.tasks, layout.placement, rng_fresh,
+                                          {graph::MaxFlowAlgorithm::kDinic, nullptr});
+    const auto reused = assign_single_data(layout.nn, layout.tasks, layout.placement,
+                                           rng_reused, {graph::MaxFlowAlgorithm::kDinic, &ws});
+    EXPECT_EQ(fresh.assignment, reused.assignment) << "seed " << seed;
+    EXPECT_EQ(fresh.locally_matched, reused.locally_matched) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace opass::core

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two perf-harness JSON reports and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold=20]
+
+Both files must be BENCH_planner.json / BENCH_executor.json reports (schema 1)
+from the same harness. Scenarios are matched by name; scenarios present in
+only one file are reported but do not fail the comparison (the matrix may
+grow). For every matched scenario the minimum wall time is compared, and the
+exit code is 1 when any current time exceeds the baseline by more than
+--threshold percent (default 20). Correctness fields (audit_ok, parity_ok)
+must hold in the current report regardless of timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != 1:
+        raise SystemExit(f"{path}: unsupported schema {report.get('schema')!r}")
+    return report
+
+
+def wall_times(scenario: dict) -> dict[str, float]:
+    """Flatten a scenario into {metric_name: wall_ms_min}."""
+    if "algorithms" in scenario:  # planner report: one entry per solver
+        return {
+            f"{algo}.wall_ms_min": data["wall_ms_min"]
+            for algo, data in scenario["algorithms"].items()
+        }
+    return {"wall_ms_min": scenario["wall_ms_min"]}
+
+
+def correctness_failures(scenario: dict) -> list[str]:
+    bad = []
+    if scenario.get("parity_ok") is False:
+        bad.append("parity_ok=false")
+    for algo, data in scenario.get("algorithms", {}).items():
+        if data.get("audit_ok") is False:
+            bad.append(f"{algo}.audit_ok=false")
+    return bad
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="max allowed wall-time regression in percent")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    if base.get("bench") != curr.get("bench"):
+        raise SystemExit(
+            f"harness mismatch: {base.get('bench')!r} vs {curr.get('bench')!r}")
+
+    base_by_name = {s["name"]: s for s in base["scenarios"]}
+    curr_by_name = {s["name"]: s for s in curr["scenarios"]}
+
+    failures = []
+    for name in sorted(base_by_name.keys() | curr_by_name.keys()):
+        if name not in base_by_name:
+            print(f"  {name}: new scenario (no baseline)")
+            continue
+        if name not in curr_by_name:
+            print(f"  {name}: missing from current report")
+            continue
+
+        for issue in correctness_failures(curr_by_name[name]):
+            failures.append(f"{name}: {issue}")
+
+        base_times = wall_times(base_by_name[name])
+        curr_times = wall_times(curr_by_name[name])
+        for metric in sorted(base_times.keys() & curr_times.keys()):
+            b, c = base_times[metric], curr_times[metric]
+            delta = 100.0 * (c - b) / b if b > 0 else 0.0
+            verdict = "ok"
+            if delta > args.threshold:
+                verdict = "REGRESSION"
+                failures.append(f"{name}: {metric} {b:.3f} -> {c:.3f} ms (+{delta:.1f}%)")
+            print(f"  {name}: {metric} {b:.3f} -> {c:.3f} ms ({delta:+.1f}%) {verdict}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s), threshold {args.threshold:.0f}%:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

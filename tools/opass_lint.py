@@ -16,6 +16,15 @@ Rules (all scoped to src/ unless noted):
                     (self-containment witness); afterwards no <system>
                     include may follow a "project" include, i.e. the system
                     block precedes the project block.
+  options-last      src/opass/ headers only: a `FooOptions` function
+                    parameter must be the last parameter (the planner API
+                    convention — options structs trail, usually defaulted
+                    `= {}`). Internal .cpp helpers may order differently
+                    (e.g. an accumulator out-param last).
+  nodiscard-plan    src/opass/ headers only: every `struct FooPlan` /
+                    `struct FooResult` must be declared
+                    `struct [[nodiscard]] Foo...` — plans are computed for
+                    their value; silently dropping one is always a bug.
 
 Usage:
   opass_lint.py <repo-root>     lint the tree rooted there (exit 1 on findings)
@@ -75,6 +84,15 @@ NONDETERMINISM = re.compile(
 )
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 INCLUDE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")\s*$', re.MULTILINE)
+# An Options-typed parameter that is *followed by a comma*, i.e. not the last
+# parameter: `FooOptions options,` / `const FooOptions& options,`. Brace
+# inits (`FooOptions{...}`) and declarations (`FooOptions o;`) don't match —
+# the type must be followed by a bare identifier and then a comma.
+OPTIONS_NOT_LAST = re.compile(r"\b(\w+Options)\s*&?\s+\w+\s*,")
+# `struct FooPlan` / `struct FooResult` with the name directly after
+# `struct`; the compliant spelling `struct [[nodiscard]] FooPlan` puts the
+# attribute in between and does not match.
+PLAIN_PLAN_STRUCT = re.compile(r"\bstruct\s+(\w+(?:Plan|Result))\b")
 
 
 class Finding:
@@ -143,6 +161,26 @@ def check_include_order(path: pathlib.Path, src_root: pathlib.Path, text: str, f
             return
 
 
+def check_options_last(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
+    if path.suffix != ".hpp" or "opass" not in path.relative_to(src_root).parts[:1]:
+        return
+    for m in OPTIONS_NOT_LAST.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "options-last",
+                    f"parameter of type {m.group(1)} must be the last parameter "
+                    "(options-last convention)"))
+
+
+def check_nodiscard_plan(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
+    if path.suffix != ".hpp" or "opass" not in path.relative_to(src_root).parts[:1]:
+        return
+    for m in PLAIN_PLAN_STRUCT.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "nodiscard-plan",
+                    f"declare it 'struct [[nodiscard]] {m.group(1)}' — plan/result "
+                    "types must not be silently dropped"))
+
+
 # --- driver -----------------------------------------------------------------
 
 def lint_tree(root: pathlib.Path) -> list:
@@ -159,6 +197,8 @@ def lint_tree(root: pathlib.Path) -> list:
         check_nondeterminism(path, text, findings)
         check_pragma_once(path, text, findings)
         check_include_order(path, src_root, text, findings)
+        check_options_last(path, src_root, text, findings)
+        check_nodiscard_plan(path, src_root, text, findings)
     return findings
 
 
@@ -172,12 +212,34 @@ _VIOLATIONS = {
         "bad_order.cpp",
         '#include "dfs/types.hpp"\n#include <vector>\nint g() { return 1; }\n',
     ),
+    "options-last": (
+        "opass/bad_options.hpp",
+        "#pragma once\nvoid f(BadOptions options, int x);\n",
+    ),
+    "nodiscard-plan": (
+        "opass/bad_plan.hpp",
+        "#pragma once\nstruct BadPlan { int x; };\n",
+    ),
 }
 
-_CLEAN = (
-    "clean.cpp",
-    '#include <vector>\n\n#include "common/require.hpp"\n'
-    "void h(int x) { OPASS_REQUIRE(x > 0, \"x\"); }\n",
+_CLEANS = (
+    (
+        "clean.cpp",
+        '#include <vector>\n\n#include "common/require.hpp"\n'
+        "void h(int x) { OPASS_REQUIRE(x > 0, \"x\"); }\n",
+    ),
+    (
+        # The compliant planner-API spellings the new rules must NOT flag:
+        # options-last (defaulted, trailing), brace init, member declaration,
+        # and a [[nodiscard]] plan struct.
+        "opass/clean_api.hpp",
+        "#pragma once\n"
+        "struct GoodOptions { int knob = 0; };\n"
+        "struct [[nodiscard]] GoodPlan { int value = 0; };\n"
+        "GoodPlan g(int x, GoodOptions options = {});\n"
+        "inline GoodPlan h(int x) { return g(x, GoodOptions{1}); }\n"
+        "struct Holder { GoodOptions options_; };\n",
+    ),
 )
 
 
@@ -188,8 +250,13 @@ def self_test() -> int:
         src = root / "src"
         src.mkdir()
         for _, (name, content) in _VIOLATIONS.items():
+            (src / name).parent.mkdir(parents=True, exist_ok=True)
             (src / name).write_text(content, encoding="utf-8")
-        (src / _CLEAN[0]).write_text(_CLEAN[1], encoding="utf-8")
+        clean_names = set()
+        for name, content in _CLEANS:
+            (src / name).parent.mkdir(parents=True, exist_ok=True)
+            (src / name).write_text(content, encoding="utf-8")
+            clean_names.add(pathlib.Path(name).name)
 
         findings = lint_tree(root)
         fired = {f.rule for f in findings}
@@ -199,9 +266,9 @@ def self_test() -> int:
             else:
                 print(f"self-test: FAIL — rule '{rule}' missed its seeded violation")
                 failures += 1
-        clean_hits = [f for f in findings if f.path.name == _CLEAN[0]]
+        clean_hits = [f for f in findings if f.path.name in clean_names]
         if clean_hits:
-            print(f"self-test: FAIL — false positives on the clean file: "
+            print(f"self-test: FAIL — false positives on the clean files: "
                   f"{'; '.join(map(str, clean_hits))}")
             failures += 1
     print("self-test:", "ok" if failures == 0 else f"{failures} failure(s)")

@@ -13,12 +13,14 @@
 // The JSON is diffed across commits by tools/bench_compare.py.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/collect.hpp"
 #include "opass/opass.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/task_source.hpp"
@@ -90,6 +92,7 @@ int main(int argc, char** argv) {
     double wall_ms_min = 0, total_ms = 0;
     Seconds makespan = 0;
     double local_pct = 0;
+    obs::MetricsRegistry reg;
     for (std::uint32_t rep = 0; rep < sc.repeats; ++rep) {
       sim::Cluster cluster(sc.nodes, {});
       runtime::StaticAssignmentSource source(plan.assignment);
@@ -105,6 +108,26 @@ int main(int argc, char** argv) {
       if (rep == 0 || ms < wall_ms_min) wall_ms_min = ms;
       makespan = exec.makespan;
       local_pct = 100.0 * exec.trace.local_fraction();
+      if (rep == 0) {  // deterministic replay: every repeat collects the same
+        obs::collect_execution(reg, exec, sc.nodes, "executor");
+        obs::collect_cluster(reg, cluster, "cluster");
+      }
+    }
+
+    // Embedded observability metrics (diffed informationally by
+    // tools/bench_compare.py): read totals from the collectors, plus the
+    // hottest disk's convoy depth and thrash events across the cluster.
+    const std::uint64_t reads_total = reg.at("executor.reads_total").counter;
+    const std::uint64_t reads_local = reg.at("executor.reads_local").counter;
+    const std::uint64_t bytes_local = reg.at("executor.bytes_local").counter;
+    const std::uint64_t read_failures = reg.at("executor.read_failures").counter;
+    double disk_peak_load_max = 0;
+    std::uint64_t degraded_joins = 0;
+    for (std::uint32_t n = 0; n < sc.nodes; ++n) {
+      const std::string node = "cluster.node." + std::to_string(n);
+      disk_peak_load_max =
+          std::max(disk_peak_load_max, reg.at(node + ".disk_peak_load").gauge);
+      degraded_joins += reg.at(node + ".disk_degraded_joins").counter;
     }
 
     std::fprintf(f, "%s", first ? "" : ",\n");
@@ -113,10 +136,17 @@ int main(int argc, char** argv) {
                  "    {\"name\": \"%s\", \"nodes\": %u, \"tasks\": %u, \"replication\": %u, "
                  "\"seed\": %llu, \"repeats\": %u,\n"
                  "     \"wall_ms_min\": %.4f, \"wall_ms_mean\": %.4f, \"makespan_s\": %.4f, "
-                 "\"local_pct\": %.2f, \"peak_rss_kb\": %ld}",
+                 "\"local_pct\": %.2f, \"peak_rss_kb\": %ld,\n"
+                 "     \"metrics\": {\"reads_total\": %llu, \"reads_local\": %llu, "
+                 "\"bytes_local_mib\": %.2f, \"read_failures\": %llu, "
+                 "\"disk_peak_load_max\": %.0f, \"disk_degraded_joins\": %llu}}",
                  sc.name, sc.nodes, sc.tasks, sc.replication,
                  static_cast<unsigned long long>(sc.seed), sc.repeats, wall_ms_min,
-                 total_ms / sc.repeats, makespan, local_pct, peak_rss_kb());
+                 total_ms / sc.repeats, makespan, local_pct, peak_rss_kb(),
+                 static_cast<unsigned long long>(reads_total),
+                 static_cast<unsigned long long>(reads_local), to_mib(bytes_local),
+                 static_cast<unsigned long long>(read_failures), disk_peak_load_max,
+                 static_cast<unsigned long long>(degraded_joins));
 
     std::printf("%-24s replay %8.3f ms  makespan %8.2f s  local %5.1f%%\n", sc.name,
                 wall_ms_min, makespan, local_pct);

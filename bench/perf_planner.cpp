@@ -61,6 +61,11 @@ struct SolverResult {
   std::uint32_t locally_matched = 0;
   double locality_pct = 0;
   bool audit_ok = false;
+  // Embedded facade metrics (from the last repeat's PlanResult); diffed
+  // informationally by tools/bench_compare.py.
+  std::uint32_t randomly_filled = 0;
+  double plan_wall_ms = 0;   ///< facade's own matcher-dispatch timing
+  double stats_wall_ms = 0;  ///< facade's evaluate_assignment timing
 };
 
 long peak_rss_kb() {
@@ -93,6 +98,9 @@ SolverResult run_solver(const Scenario& sc, const dfs::NameNode& nn,
   out.wall_ms_mean = total_ms / sc.repeats;
   out.locally_matched = last.locally_matched;
   out.locality_pct = sc.tasks ? 100.0 * last.locally_matched / sc.tasks : 0.0;
+  out.randomly_filled = last.randomly_filled;
+  out.plan_wall_ms = last.plan_wall_ms;
+  out.stats_wall_ms = last.stats_wall_ms;
 
   core::AuditOptions audit_options;
   audit_options.enforce_capacity = true;
@@ -107,9 +115,12 @@ SolverResult run_solver(const Scenario& sc, const dfs::NameNode& nn,
 void emit_solver(std::FILE* f, const char* name, const SolverResult& r, bool last) {
   std::fprintf(f,
                "      \"%s\": {\"wall_ms_min\": %.4f, \"wall_ms_mean\": %.4f, "
-               "\"locally_matched\": %u, \"locality_pct\": %.2f, \"audit_ok\": %s}%s\n",
+               "\"locally_matched\": %u, \"locality_pct\": %.2f, \"audit_ok\": %s,\n"
+               "        \"metrics\": {\"randomly_filled\": %u, \"plan_wall_ms\": %.4f, "
+               "\"stats_wall_ms\": %.4f}}%s\n",
                name, r.wall_ms_min, r.wall_ms_mean, r.locally_matched, r.locality_pct,
-               r.audit_ok ? "true" : "false", last ? "" : ",");
+               r.audit_ok ? "true" : "false", r.randomly_filled, r.plan_wall_ms,
+               r.stats_wall_ms, last ? "" : ",");
 }
 
 }  // namespace

@@ -4,11 +4,18 @@
 //   opass_cli --scenario=paraview --method=both --csv
 //   opass_cli --scenario=dynamic --nodes=128 --seed=7 --compute=0.4
 //   opass_cli --scenario=single --method=opass --audit
+//   opass_cli --scenario=single --metrics-out=metrics.json --trace-out=trace.json
 //
 // Prints the run's headline metrics as a table, or the per-op I/O series as
 // CSV with --csv (ready for plotting). With --audit the scenario's plan is
 // built but not simulated: the static auditor (plan_audit.hpp) checks the
 // assignment's invariants and the exit code reports the verdict.
+//
+// Observability: --metrics-out writes the run's metric registry (JSON, or
+// CSV when the path ends in .csv; byte-identical across runs of one seed),
+// --trace-out writes a Chrome trace-event file (open in chrome://tracing or
+// ui.perfetto.dev; with --method=both the two methods appear as separate
+// process groups), and --hotspots prints the per-node serving report.
 #include <cstdio>
 #include <optional>
 #include <stdexcept>
@@ -18,35 +25,62 @@
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "graph/max_flow.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/hotspot.hpp"
+#include "obs/metrics_io.hpp"
 #include "opass/plan_audit.hpp"
 
 namespace {
 
 using namespace opass;
 
+/// Observability sinks threaded through a run; any member may be null/off.
+struct ObsSinks {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::ChromeTraceBuilder* trace = nullptr;
+  bool hotspots = false;
+};
+
 int run_method(const std::string& scenario, exp::Method method,
                const exp::ExperimentConfig& cfg, std::uint32_t tasks, double compute,
-               bool csv, Table& table) {
+               bool csv, Table& table, const ObsSinks& sinks = {}) {
+  exp::ExperimentConfig run_cfg = cfg;
+  runtime::ExecutionResult raw;
+  run_cfg.metrics = sinks.metrics;
+  if (sinks.trace != nullptr || sinks.hotspots) run_cfg.raw = &raw;
+
   exp::RunOutput out;
   if (scenario == "single") {
-    out = exp::run_single_data(cfg, tasks, method);
+    out = exp::run_single_data(run_cfg, tasks, method);
   } else if (scenario == "multi") {
-    out = exp::run_multi_data(cfg, tasks, method);
+    out = exp::run_multi_data(run_cfg, tasks, method);
   } else if (scenario == "dynamic") {
     workload::GenomicsSpec spec;
     spec.mean_compute_time = compute;
-    out = exp::run_dynamic(cfg, tasks, method, spec);
+    out = exp::run_dynamic(run_cfg, tasks, method, spec);
   } else if (scenario == "paraview") {
     workload::ParaViewSpec spec;
     spec.dataset_count = tasks;
     spec.datasets_per_step = std::min(tasks, cfg.nodes);
-    out = exp::run_paraview(cfg, method, spec).run;
+    out = exp::run_paraview(run_cfg, method, spec).run;
   } else if (scenario == "iterative") {
-    out = exp::run_iterative(cfg, tasks, /*epochs=*/4, method, compute).run;
+    out = exp::run_iterative(run_cfg, tasks, /*epochs=*/4, method, compute).run;
   } else {
     std::fprintf(stderr, "unknown scenario '%s' (single|multi|dynamic|paraview|iterative)\n",
                  scenario.c_str());
     return 1;
+  }
+
+  if (sinks.trace != nullptr) {
+    // One trace process group per method, so --method=both renders both
+    // timelines side by side.
+    const std::uint32_t pid = method == exp::Method::kBaseline ? 0 : 1;
+    sinks.trace->set_process_name(pid, exp::method_name(method));
+    sinks.trace->add_execution(raw, pid);
+  }
+  if (sinks.hotspots) {
+    std::printf("[%s]\n%s\n", exp::method_name(method),
+                obs::hotspot_report(raw.trace, cfg.nodes).render().c_str());
   }
 
   if (csv) {
@@ -105,6 +139,9 @@ int main(int argc, char** argv) {
       .add("plan-algorithm", "dinic", "max-flow solver for Opass planning: dinic | edmonds-karp")
       .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
       .add("audit", "false", "audit the scenario's plan statically instead of simulating")
+      .add("metrics-out", "", "write run metrics to this path (.csv => CSV, else JSON)")
+      .add("trace-out", "", "write a Chrome trace-event JSON file to this path")
+      .add("hotspots", "false", "print the per-node serving hotspot report")
       .add("help", "false", "show usage");
   if (!opts.parse(argc, argv) || opts.boolean("help")) {
     if (!opts.error().empty()) std::fprintf(stderr, "error: %s\n", opts.error().c_str());
@@ -152,12 +189,21 @@ int main(int argc, char** argv) {
     return rc;
   }
 
+  const std::string metrics_out = opts.str("metrics-out");
+  const std::string trace_out = opts.str("trace-out");
+  obs::MetricsRegistry registry;
+  obs::ChromeTraceBuilder trace_builder;
+  ObsSinks sinks;
+  if (!metrics_out.empty()) sinks.metrics = &registry;
+  if (!trace_out.empty()) sinks.trace = &trace_builder;
+  sinks.hotspots = opts.boolean("hotspots");
+
   Table table({"method", "avg I/O (s)", "max I/O (s)", "local %", "Jain", "makespan (s)"});
   int rc = 0;
   if (method == "baseline" || method == "both")
-    rc |= run_method(scenario, exp::Method::kBaseline, cfg, tasks, compute, csv, table);
+    rc |= run_method(scenario, exp::Method::kBaseline, cfg, tasks, compute, csv, table, sinks);
   if (method == "opass" || method == "both")
-    rc |= run_method(scenario, exp::Method::kOpass, cfg, tasks, compute, csv, table);
+    rc |= run_method(scenario, exp::Method::kOpass, cfg, tasks, compute, csv, table, sinks);
   if (method != "baseline" && method != "opass" && method != "both") {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return 2;
@@ -168,6 +214,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cfg.seed),
                 dfs::placement_kind_name(cfg.placement));
     std::fputs(table.render().c_str(), stdout);
+  }
+
+  if (!metrics_out.empty()) {
+    const obs::IoStatus st = obs::write_metrics(registry, metrics_out);
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    const obs::IoStatus st = obs::write_file(trace_out, trace_builder.json());
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
   }
   return rc;
 }

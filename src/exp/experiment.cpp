@@ -1,7 +1,11 @@
 #include "exp/experiment.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/require.hpp"
 #include "dfs/topology.hpp"
+#include "obs/collect.hpp"
 #include "opass/opass.hpp"
 #include "runtime/task_source.hpp"
 #include "workload/dataset.hpp"
@@ -36,7 +40,45 @@ runtime::Assignment opass_assignment(const ExperimentConfig& cfg, core::PlannerK
   options.planner = kind;
   options.algorithm = cfg.flow_algorithm;
   options.workspace = workspace;
-  return core::plan({&nn, &tasks, &placement, &rng}, options).assignment;
+  auto result = core::plan({&nn, &tasks, &placement, &rng}, options);
+  // Only Opass plans pass through here, so the prefix is unconditional.
+  // Counters accumulate across per-step replans (ParaView); gauges keep the
+  // last step's value.
+  if (cfg.metrics != nullptr) obs::collect_plan(*cfg.metrics, result, "opass.planner");
+  return std::move(result.assignment);
+}
+
+/// Feed a finished execution to the config's observability sinks (no-op when
+/// none are set): metrics under "<method>.executor" / "<method>.cluster",
+/// and the raw trace + spans copied out for trace export.
+void observe_run(const ExperimentConfig& cfg, Method method,
+                 const runtime::ExecutionResult& exec, const sim::Cluster& cluster) {
+  if (cfg.metrics != nullptr) {
+    const std::string prefix = method_name(method);
+    obs::collect_execution(*cfg.metrics, exec, cfg.nodes, prefix + ".executor");
+    obs::collect_cluster(*cfg.metrics, cluster, prefix + ".cluster");
+  }
+  if (cfg.raw != nullptr) *cfg.raw = exec;
+}
+
+/// Fold one step/epoch execution into a run-level aggregate: traces and task
+/// spans concatenate, finish times take the latest, stalls and counters sum.
+void accumulate(runtime::ExecutionResult& agg, const runtime::ExecutionResult& step) {
+  for (const auto& rec : step.trace.records()) agg.trace.add(rec);
+  agg.task_spans.insert(agg.task_spans.end(), step.task_spans.begin(),
+                        step.task_spans.end());
+  if (agg.process_finish_time.size() < step.process_finish_time.size())
+    agg.process_finish_time.resize(step.process_finish_time.size(), 0);
+  for (std::size_t p = 0; p < step.process_finish_time.size(); ++p)
+    agg.process_finish_time[p] =
+        std::max(agg.process_finish_time[p], step.process_finish_time[p]);
+  if (agg.barrier_stall.size() < step.barrier_stall.size())
+    agg.barrier_stall.resize(step.barrier_stall.size(), 0);
+  for (std::size_t p = 0; p < step.barrier_stall.size(); ++p)
+    agg.barrier_stall[p] += step.barrier_stall[p];
+  agg.makespan = std::max(agg.makespan, step.makespan);
+  agg.tasks_executed += step.tasks_executed;
+  agg.read_failures += step.read_failures;
 }
 
 RunOutput reduce(const dfs::NameNode& nn, const std::vector<runtime::Task>& tasks,
@@ -106,13 +148,15 @@ namespace {
 
 /// Shared tail of the static-plan scenarios: replay the assignment on the
 /// flow simulator and reduce the trace.
-RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng& exec_rng) {
+RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng& exec_rng,
+                           Method method) {
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::StaticAssignmentSource source(sc.assignment);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(sc.placement.size());
   const auto exec = runtime::execute(cluster, sc.nn, sc.tasks, source, exec_rng, ec);
+  observe_run(cfg, method, exec, cluster);
   return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
 }
 
@@ -122,14 +166,14 @@ RunOutput run_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count
                           Method method) {
   Streams streams(cfg.seed);
   auto sc = plan_single_data(cfg, chunk_count, method);
-  return simulate_planned(cfg, sc, streams.exec);
+  return simulate_planned(cfg, sc, streams.exec, method);
 }
 
 RunOutput run_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
                          const workload::MultiInputSpec& spec) {
   Streams streams(cfg.seed);
   auto sc = plan_multi_data(cfg, task_count, method, spec);
-  return simulate_planned(cfg, sc, streams.exec);
+  return simulate_planned(cfg, sc, streams.exec, method);
 }
 
 RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
@@ -151,6 +195,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   if (method == Method::kBaseline) {
     runtime::MasterWorkerSource source(task_count, streams.assign, /*shuffle=*/true);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+    observe_run(cfg, method, exec, cluster);
     return reduce(nn, tasks, exec, placement, nullptr);
   }
   // Opass: the matching-based guideline A*, consumed by the Section IV-D
@@ -159,6 +204,8 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
                                     streams.assign);
   core::OpassDynamicSource source(guideline, nn, tasks, placement);
   const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+  observe_run(cfg, method, exec, cluster);
+  if (cfg.metrics != nullptr) obs::collect_dynamic(*cfg.metrics, source, "opass.dynamic");
   auto out = reduce(nn, tasks, exec, placement, &guideline);
   return out;
 }
@@ -177,7 +224,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
 
-  sim::TraceRecorder all_trace;
+  runtime::ExecutionResult agg;  // run-level aggregate across rendering steps
   Bytes planned_total = 0, planned_local = 0;
 
   // One workspace across all rendering steps: per-step replanning reuses the
@@ -211,17 +258,18 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
     runtime::StaticAssignmentSource source(assignment);
     auto exec = runtime::execute(cluster, nn, step_tasks, source, streams.exec, ec);
     out.step_times.push_back(exec.makespan - step_start);
-    for (const auto& rec : exec.trace.records()) all_trace.add(rec);
+    accumulate(agg, exec);
   }
 
   for (Seconds t : out.step_times) out.total_time += t;
-  out.run.io = summarize(all_trace.io_times());
-  out.run.io_times = all_trace.io_times_by_issue();
-  for (Bytes b : all_trace.bytes_served_per_node(nn.node_count()))
+  observe_run(cfg, method, agg, cluster);
+  out.run.io = summarize(agg.trace.io_times());
+  out.run.io_times = agg.trace.io_times_by_issue();
+  for (Bytes b : agg.trace.bytes_served_per_node(nn.node_count()))
     out.run.served_mb.push_back(to_mib(b));
-  out.run.local_fraction = all_trace.local_fraction();
+  out.run.local_fraction = agg.trace.local_fraction();
   out.run.makespan = out.total_time;
-  out.run.tasks_executed = static_cast<std::uint32_t>(all_trace.size());
+  out.run.tasks_executed = static_cast<std::uint32_t>(agg.trace.size());
   out.run.planned_local_fraction =
       planned_total ? static_cast<double>(planned_local) / static_cast<double>(planned_total)
                     : 0.0;
@@ -254,24 +302,25 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
-  sim::TraceRecorder all_trace;
+  runtime::ExecutionResult agg;  // run-level aggregate across epochs
 
   for (std::uint32_t e = 0; e < epochs; ++e) {
     const Seconds epoch_start = cluster.simulator().now();
     runtime::StaticAssignmentSource source(assignment);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
     out.epoch_times.push_back(exec.makespan - epoch_start);
-    for (const auto& rec : exec.trace.records()) all_trace.add(rec);
+    accumulate(agg, exec);
   }
   for (Seconds t : out.epoch_times) out.total_time += t;
+  observe_run(cfg, method, agg, cluster);
 
-  out.run.io = summarize(all_trace.io_times());
-  out.run.io_times = all_trace.io_times_by_issue();
-  for (Bytes b : all_trace.bytes_served_per_node(nn.node_count()))
+  out.run.io = summarize(agg.trace.io_times());
+  out.run.io_times = agg.trace.io_times_by_issue();
+  for (Bytes b : agg.trace.bytes_served_per_node(nn.node_count()))
     out.run.served_mb.push_back(to_mib(b));
-  out.run.local_fraction = all_trace.local_fraction();
+  out.run.local_fraction = agg.trace.local_fraction();
   out.run.makespan = out.total_time;
-  out.run.tasks_executed = static_cast<std::uint32_t>(all_trace.size());
+  out.run.tasks_executed = static_cast<std::uint32_t>(agg.trace.size());
   out.run.planned_local_fraction =
       core::evaluate_assignment(nn, tasks, assignment, placement).local_fraction();
   return out;

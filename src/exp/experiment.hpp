@@ -18,6 +18,7 @@
 #include "dfs/placement.hpp"
 #include "dfs/replica_choice.hpp"
 #include "graph/max_flow.hpp"
+#include "obs/metrics.hpp"
 #include "opass/locality_graph.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/static_partitioner.hpp"
@@ -52,6 +53,16 @@ struct ExperimentConfig {
   /// differ, so fix this when byte-identical plans matter.
   graph::MaxFlowAlgorithm flow_algorithm = graph::MaxFlowAlgorithm::kDinic;
   sim::ClusterParams cluster;
+  /// Optional observability sinks (borrowed; must outlive the run call).
+  /// When `metrics` is set, every run_* reduces the execution, the cluster's
+  /// resource accounting and (for Opass) the planner into it via the obs
+  /// collectors, prefixed with the method name ("baseline." / "opass.") so
+  /// a comparison run fits in one registry. When `raw` is set, the full
+  /// execution result (trace + task spans, aggregated across steps/epochs
+  /// for the multi-phase scenarios) is copied out — the input the Chrome
+  /// trace exporter (obs/chrome_trace.hpp) wants.
+  obs::MetricsRegistry* metrics = nullptr;
+  runtime::ExecutionResult* raw = nullptr;
 };
 
 /// Reduced results of one run.

@@ -1,0 +1,100 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/require.hpp"
+#include "obs/metrics_io.hpp"
+
+namespace opass::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::string format_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void ChromeTraceBuilder::set_process_name(std::uint32_t pid, const std::string& name) {
+  for (auto& entry : process_names_) {
+    if (entry.first == pid) {
+      entry.second = name;
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, name);
+}
+
+void ChromeTraceBuilder::add_execution(const runtime::ExecutionResult& result,
+                                       std::uint32_t pid) {
+  for (const sim::ReadRecord& r : result.trace.records()) {
+    OPASS_REQUIRE(r.end_time >= r.issue_time, "read record with negative duration");
+    Event e;
+    e.ts_us = r.issue_time * kMicrosPerSecond;
+    e.dur_us = r.io_time() * kMicrosPerSecond;
+    e.pid = pid;
+    e.tid = r.process;
+    e.name = "read chunk " + format_u64(r.chunk);
+    e.cat = "read";
+    e.args_json = "{\"chunk\": " + format_u64(r.chunk) +
+                  ", \"bytes\": " + format_u64(r.bytes) +
+                  ", \"server\": " + format_u64(r.serving_node) +
+                  ", \"local\": " + (r.local ? "true" : "false") + "}";
+    events_.push_back(std::move(e));
+  }
+  for (const runtime::TaskSpan& s : result.task_spans) {
+    OPASS_REQUIRE(s.end >= s.start, "task span with negative duration");
+    Event e;
+    e.ts_us = s.start * kMicrosPerSecond;
+    e.dur_us = (s.end - s.start) * kMicrosPerSecond;
+    e.pid = pid;
+    e.tid = s.process;
+    e.name = "task " + format_u64(s.task);
+    e.cat = "task";
+    events_.push_back(std::move(e));
+  }
+}
+
+std::string ChromeTraceBuilder::json() const {
+  std::vector<const Event*> order;
+  order.reserve(events_.size());
+  for (const Event& e : events_) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(), [](const Event* a, const Event* b) {
+    return std::tie(a->ts_us, a->pid, a->tid, a->name) <
+           std::tie(b->ts_us, b->pid, b->tid, b->name);
+  });
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  " + event;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " + format_u64(pid) +
+         ", \"tid\": 0, \"args\": {\"name\": \"" + name + "\"}}");
+  }
+  for (const Event* e : order) {
+    std::string line = "{\"name\": \"" + e->name + "\", \"cat\": \"" + e->cat +
+                       "\", \"ph\": \"X\", \"ts\": " + format_double(e->ts_us) +
+                       ", \"dur\": " + format_double(e->dur_us) +
+                       ", \"pid\": " + format_u64(e->pid) +
+                       ", \"tid\": " + format_u64(e->tid);
+    if (!e->args_json.empty()) line += ", \"args\": " + e->args_json;
+    line += "}";
+    emit(line);
+  }
+  out += first ? "], " : "\n], ";
+  out += "\"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string to_chrome_trace_json(const runtime::ExecutionResult& result) {
+  ChromeTraceBuilder builder;
+  builder.add_execution(result, /*pid=*/0);
+  return builder.json();
+}
+
+}  // namespace opass::obs

@@ -1,0 +1,64 @@
+// Chrome trace-event exporter: turn a recorded execution into a JSON file
+// that chrome://tracing and Perfetto (ui.perfetto.dev) open directly.
+//
+// Mapping. Each executor process becomes a track (tid = process rank, one
+// pid per execution added to the builder — so `--method=both` runs render as
+// two side-by-side process groups). Every sim::ReadRecord becomes a complete
+// ("X") event in category "read" spanning issue_time..end_time with the
+// chunk, byte count, serving node and locality in its args; every
+// runtime::TaskSpan becomes an "X" event in category "task" spanning
+// pull..compute-done. Virtual seconds map to trace microseconds (1 s = 1e6
+// µs), the unit the trace-event spec requires.
+//
+// Determinism: events are emitted sorted by (ts, pid, tid, name) with the
+// fixed number format of obs/metrics_io.hpp, so a seeded run exports a
+// byte-identical trace — the same contract as the metric sinks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace opass::obs {
+
+/// Accumulates executions and renders one trace-event JSON document.
+class ChromeTraceBuilder {
+ public:
+  /// Name the process group `pid` (emitted as an "M" process_name metadata
+  /// event, shown as the group label in the viewer).
+  void set_process_name(std::uint32_t pid, const std::string& name);
+
+  /// Add every read and task span of `result` under process group `pid`.
+  /// Call once per execution; use distinct pids to compare methods in one
+  /// trace.
+  void add_execution(const runtime::ExecutionResult& result, std::uint32_t pid = 0);
+
+  /// Number of duration events added so far (metadata not counted).
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Render the document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  /// Metadata events first, then duration events sorted by timestamp.
+  std::string json() const;
+
+ private:
+  struct Event {
+    double ts_us = 0;   ///< issue time in trace microseconds
+    double dur_us = 0;  ///< duration in trace microseconds (>= 0)
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::string name;
+    const char* cat = "";
+    std::string args_json;  ///< rendered {...} args object, may be empty
+  };
+
+  std::vector<Event> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+};
+
+/// One-shot convenience: export a single execution as pid 0.
+std::string to_chrome_trace_json(const runtime::ExecutionResult& result);
+
+}  // namespace opass::obs

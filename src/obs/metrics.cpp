@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace opass::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  OPASS_CHECK(false, "unhandled MetricKind");
+}
+
+Metric& MetricsRegistry::get_or_create(const std::string& name, MetricKind kind,
+                                       Determinism determinism) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Metric& m = metrics_[it->second];
+    OPASS_REQUIRE(m.kind == kind, "metric re-touched with a different kind");
+    OPASS_REQUIRE(m.determinism == determinism,
+                  "metric re-touched with a different determinism tag");
+    return m;
+  }
+  index_.emplace(name, metrics_.size());
+  Metric m;
+  m.name = name;
+  m.kind = kind;
+  m.determinism = determinism;
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+void MetricsRegistry::counter_add(const std::string& name, std::uint64_t delta) {
+  get_or_create(name, MetricKind::kCounter, Determinism::kDeterministic).counter += delta;
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value,
+                                Determinism determinism) {
+  get_or_create(name, MetricKind::kGauge, determinism).gauge = value;
+}
+
+void MetricsRegistry::define_histogram(const std::string& name,
+                                       std::vector<double> upper_bounds) {
+  OPASS_REQUIRE(!upper_bounds.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i)
+    OPASS_REQUIRE(upper_bounds[i - 1] < upper_bounds[i],
+                  "histogram bounds must be strictly ascending");
+  Metric& m =
+      get_or_create(name, MetricKind::kHistogram, Determinism::kDeterministic);
+  if (!m.histogram.buckets.empty()) {
+    OPASS_REQUIRE(m.histogram.upper_bounds == upper_bounds,
+                  "histogram re-defined with different bounds");
+    return;
+  }
+  m.histogram.upper_bounds = std::move(upper_bounds);
+  m.histogram.buckets.assign(m.histogram.upper_bounds.size() + 1, 0);
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  const auto it = index_.find(name);
+  OPASS_REQUIRE(it != index_.end(), "observe() on an undefined histogram");
+  Metric& m = metrics_[it->second];
+  OPASS_REQUIRE(m.kind == MetricKind::kHistogram, "observe() on a non-histogram metric");
+  HistogramData& h = m.histogram;
+  std::size_t bucket = h.upper_bounds.size();  // overflow unless a bound fits
+  for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+    if (sample <= h.upper_bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.buckets[bucket];
+  if (h.count == 0) {
+    h.min = sample;
+    h.max = sample;
+  } else {
+    h.min = std::min(h.min, sample);
+    h.max = std::max(h.max, sample);
+  }
+  ++h.count;
+  h.sum += sample;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+const Metric& MetricsRegistry::at(const std::string& name) const {
+  const auto it = index_.find(name);
+  OPASS_REQUIRE(it != index_.end(), "unknown metric name");
+  return metrics_[it->second];
+}
+
+void MetricsRegistry::clear() {
+  metrics_.clear();
+  index_.clear();
+}
+
+ScopedWallTimer::ScopedWallTimer(MetricsRegistry& registry, std::string name)
+    : registry_(registry), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedWallTimer::~ScopedWallTimer() {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  registry_.gauge_set(name_, ms, Determinism::kWallClock);
+}
+
+void record_phase(MetricsRegistry& registry, const std::string& name, Seconds start,
+                  Seconds end) {
+  OPASS_REQUIRE(end >= start, "phase end precedes its start");
+  registry.gauge_set(name, end - start, Determinism::kDeterministic);
+}
+
+}  // namespace opass::obs

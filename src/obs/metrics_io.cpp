@@ -1,0 +1,149 @@
+#include "obs/metrics_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace opass::obs {
+
+namespace {
+
+/// Minimal JSON string escaping; metric names are ASCII identifiers, but the
+/// writer must not silently corrupt output if one ever is not.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+bool included(const Metric& m, const ExportOptions& options) {
+  return options.include_wall_clock || m.determinism == Determinism::kDeterministic;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  std::string s = buf;
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string to_json(const MetricsRegistry& registry, ExportOptions options) {
+  std::string out = "{\n  \"schema\": 1,\n  \"metrics\": [";
+  bool first = true;
+  for (const Metric& m : registry.metrics()) {
+    if (!included(m, options)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(m.name) + "\", \"kind\": \"";
+    out += metric_kind_name(m.kind);
+    out += "\"";
+    if (m.determinism == Determinism::kWallClock) out += ", \"wall_clock\": true";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += ", \"value\": " + format_u64(m.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ", \"value\": " + format_double(m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        out += ", \"count\": " + format_u64(h.count);
+        out += ", \"sum\": " + format_double(h.sum);
+        out += ", \"min\": " + format_double(h.min);
+        out += ", \"max\": " + format_double(h.max);
+        out += ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+          if (i) out += ", ";
+          out += "{\"le\": " + format_double(h.upper_bounds[i]) +
+                 ", \"count\": " + format_u64(h.buckets[i]) + "}";
+        }
+        out += "], \"overflow\": " + format_u64(h.overflow());
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_csv(const MetricsRegistry& registry, ExportOptions options) {
+  std::string out = "name,kind,value\n";
+  const auto row = [&out](const std::string& name, const char* kind,
+                          const std::string& value) {
+    out += name;
+    out += ',';
+    out += kind;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const Metric& m : registry.metrics()) {
+    if (!included(m, options)) continue;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        row(m.name, "counter", format_u64(m.counter));
+        break;
+      case MetricKind::kGauge:
+        row(m.name, "gauge", format_double(m.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        row(m.name + ".count", "histogram", format_u64(h.count));
+        row(m.name + ".sum", "histogram", format_double(h.sum));
+        row(m.name + ".min", "histogram", format_double(h.min));
+        row(m.name + ".max", "histogram", format_double(h.max));
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i)
+          row(m.name + ".le_" + format_double(h.upper_bounds[i]), "histogram",
+              format_u64(h.buckets[i]));
+        row(m.name + ".overflow", "histogram", format_u64(h.overflow()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+IoStatus write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return {false, "cannot open '" + path + "' for writing"};
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return {false, "short write to '" + path + "'"};
+  return {};
+}
+
+IoStatus write_metrics(const MetricsRegistry& registry, const std::string& path,
+                       ExportOptions options) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  return write_file(path, csv ? to_csv(registry, options) : to_json(registry, options));
+}
+
+}  // namespace opass::obs

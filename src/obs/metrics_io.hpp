@@ -1,0 +1,61 @@
+// Metric sinks: JSON and CSV serialization of a MetricsRegistry.
+//
+// Determinism contract: the default export includes only metrics tagged
+// Determinism::kDeterministic, iterates in registration order, and formats
+// every double with one fixed printf spec — so a seeded run writes
+// byte-identical files on every execution and on every machine (the property
+// the `cli_metrics_deterministic` ctest entry asserts). Wall-clock metrics
+// appear only when ExportOptions::include_wall_clock is set, and such files
+// are explicitly not byte-stable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace opass::obs {
+
+/// Outcome of a file write. Returned (not thrown) because a missing
+/// directory or full disk on `--metrics-out` is an operator error, not a
+/// programming error; callers must look at it, hence [[nodiscard]].
+struct [[nodiscard]] IoStatus {
+  bool ok = true;
+  std::string message;  ///< empty on success, reason otherwise
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Serialization knobs (options-last on every entry point).
+struct ExportOptions {
+  /// Also emit Determinism::kWallClock metrics. Off by default so the
+  /// output is byte-identical across runs of the same seed.
+  bool include_wall_clock = false;
+};
+
+/// Serialize as a JSON document:
+///   {"schema": 1, "metrics": [{"name": ..., "kind": ..., ...}, ...]}
+/// Counters carry an integer "value", gauges a double "value", histograms
+/// "count"/"sum"/"min"/"max" plus a "buckets" array of {"le", "count"} pairs
+/// and an "overflow" count. Ends with a trailing newline.
+std::string to_json(const MetricsRegistry& registry, ExportOptions options = {});
+
+/// Serialize as CSV with header `name,kind,value`. Histograms flatten into
+/// one row per component: `<name>.count`, `<name>.sum`, `<name>.min`,
+/// `<name>.max`, `<name>.le_<bound>` per bucket and `<name>.overflow`.
+std::string to_csv(const MetricsRegistry& registry, ExportOptions options = {});
+
+/// Write `content` to `path`, overwriting. Fails (with a message naming the
+/// path) instead of aborting when the path is not writable.
+IoStatus write_file(const std::string& path, const std::string& content);
+
+/// Serialize and write in one step: CSV when `path` ends in ".csv", JSON
+/// otherwise.
+IoStatus write_metrics(const MetricsRegistry& registry, const std::string& path,
+                       ExportOptions options = {});
+
+/// The fixed double format shared by every deterministic sink ("%.9g",
+/// with "-0" normalized to "0"). Exposed so other exporters (the Chrome
+/// trace writer, bench JSON embedding) format identically.
+std::string format_double(double value);
+
+}  // namespace opass::obs

@@ -33,6 +33,7 @@ std::optional<runtime::TaskId> OpassDynamicSource::next_task(runtime::ProcessId 
   if (!own.empty()) {
     const runtime::TaskId t = own.front();
     own.pop_front();
+    ++guideline_hits_;
     return t;
   }
 
@@ -60,6 +61,7 @@ std::optional<runtime::TaskId> OpassDynamicSource::next_task(runtime::ProcessId 
   const runtime::TaskId t = victim[best];
   victim.erase(victim.begin() + static_cast<std::ptrdiff_t>(best));
   ++steals_;
+  if (co_located_bytes(process, t) > 0) ++steal_local_hits_;
   return t;
 }
 

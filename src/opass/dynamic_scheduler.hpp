@@ -53,6 +53,17 @@ class OpassDynamicSource final : public runtime::TaskSource {
   /// Number of steals performed so far (observability for tests/benches).
   std::uint32_t steal_count() const { return steals_; }
 
+  /// Steals whose chosen task had at least one input replica co-located with
+  /// the stealing process — the "steal locality hit rate" numerator. Under
+  /// StealPolicy::kBestLocality this measures how often the paper's rule
+  /// actually finds local data in the victim's list.
+  std::uint32_t steal_local_hits() const { return steal_local_hits_; }
+
+  /// Tasks handed out from a process's own guideline list L_i (step 2), as
+  /// opposed to stolen ones. guideline_hits() + steal_count() equals the
+  /// total number of tasks dispensed.
+  std::uint32_t guideline_hits() const { return guideline_hits_; }
+
  private:
   Bytes co_located_bytes(runtime::ProcessId process, runtime::TaskId task) const;
 
@@ -62,6 +73,8 @@ class OpassDynamicSource final : public runtime::TaskSource {
   ProcessPlacement placement_;
   DynamicOptions options_;
   std::uint32_t steals_ = 0;
+  std::uint32_t steal_local_hits_ = 0;
+  std::uint32_t guideline_hits_ = 0;
 };
 
 }  // namespace opass::core

@@ -1,5 +1,7 @@
 #include "opass/planner.hpp"
 
+#include <chrono>
+
 #include "common/require.hpp"
 #include "opass/multi_data.hpp"
 #include "opass/rack_aware.hpp"
@@ -29,6 +31,11 @@ PlannerKind parse_planner_kind(const std::string& name) {
 
 namespace {
 
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 void validate(const PlanRequest& request, PlannerKind planner) {
   OPASS_REQUIRE(request.nn != nullptr, "PlanRequest.nn must be set");
   OPASS_REQUIRE(request.tasks != nullptr, "PlanRequest.tasks must be set");
@@ -47,6 +54,7 @@ PlanResult plan(const PlanRequest& request, PlanOptions options) {
 
   PlanResult result;
   result.planner = options.planner;
+  const auto plan_begin = std::chrono::steady_clock::now();
   switch (options.planner) {
     case PlannerKind::kSingleData: {
       auto p = assign_single_data(nn, tasks, placement, *request.rng,
@@ -83,7 +91,10 @@ PlanResult plan(const PlanRequest& request, PlanOptions options) {
       break;
     }
   }
+  result.plan_wall_ms = elapsed_ms(plan_begin);
+  const auto stats_begin = std::chrono::steady_clock::now();
   result.stats = evaluate_assignment(nn, tasks, result.assignment, placement);
+  result.stats_wall_ms = elapsed_ms(stats_begin);
   return result;
 }
 

@@ -81,6 +81,13 @@ struct [[nodiscard]] PlanResult {
   std::uint32_t reassignments = 0;  ///< Algorithm 1 steal-backs
   Bytes matched_bytes = 0;          ///< co-located bytes of the final matching
 
+  // Host wall-clock timings of the facade's two phases, measured with
+  // steady_clock. These are NOT deterministic across runs or machines —
+  // observability sinks must tag them as such (obs collectors register them
+  // nondeterministic, so deterministic exports exclude them by default).
+  double plan_wall_ms = 0;   ///< matcher dispatch (graph build + solve + fill)
+  double stats_wall_ms = 0;  ///< evaluate_assignment() profiling pass
+
   double local_fraction() const { return stats.local_fraction(); }
 };
 

@@ -25,7 +25,9 @@ class Driver {
     bsp_ = config.barrier_per_task;
     OPASS_REQUIRE(!(prefetch_ && bsp_), "prefetch and barrier_per_task are exclusive");
     result_.process_finish_time.assign(m, 0);
+    result_.barrier_stall.assign(m, 0);
     retired_.assign(m, 0);
+    wave_arrival_.assign(m, -1.0);
     wave_active_ = m;
     states_.resize(m);
     for (ProcessId p = 0; p < m; ++p) {
@@ -57,9 +59,11 @@ class Driver {
     dfs::NodeId node = 0;
     TaskId task = kInvalidTask;        ///< task whose inputs are being read
     std::size_t next_input = 0;
+    Seconds task_start = 0;            ///< pull time of `task`
     // Prefetch mode: the cycle's join counter. A cycle = compute(T) overlapped
     // with reads(T+1); the cycle advances when both events have fired.
     TaskId computing = kInvalidTask;   ///< task whose compute is in flight
+    Seconds computing_start = 0;       ///< pull time of `computing`
     std::uint32_t events_pending = 0;
   };
 
@@ -91,6 +95,7 @@ class Driver {
     OPASS_REQUIRE(r.task < tasks_.size(), "task source returned unknown task");
     states_[p].task = r.task;
     states_[p].next_input = 0;
+    states_[p].task_start = cluster_.simulator().now();
     ++result_.tasks_executed;
     read_next_input(p);
   }
@@ -98,22 +103,34 @@ class Driver {
   /// One task fully processed: either pull the next immediately (async) or
   /// wait at the per-task barrier (BSP).
   void task_complete(ProcessId p) {
+    const Seconds now = cluster_.simulator().now();
+    result_.task_spans.push_back({p, states_[p].task, states_[p].task_start, now});
     if (!bsp_) {
       pull_next_task(p);
       return;
     }
+    wave_arrival_[p] = now;
     ++wave_arrived_;
     if (wave_arrived_ < wave_active_) return;
     release_wave();
   }
 
   /// Every active process finished its task: everyone pulls the next one.
-  /// Retirements (source drained) shrink the wave.
+  /// Retirements (source drained) shrink the wave. Time spent parked at the
+  /// barrier is charged to each waiter's barrier_stall (the last arriver's
+  /// share is zero by construction).
   void release_wave() {
+    const Seconds now = cluster_.simulator().now();
     wave_arrived_ = 0;
     std::vector<ProcessId> wave;
     for (ProcessId p = 0; p < states_.size(); ++p)
       if (!retired_[p]) wave.push_back(p);
+    for (ProcessId p : wave) {
+      if (wave_arrival_[p] >= 0) {
+        result_.barrier_stall[p] += now - wave_arrival_[p];
+        wave_arrival_[p] = -1.0;
+      }
+    }
     for (ProcessId p : wave) pull_next_task(p);
   }
 
@@ -173,6 +190,7 @@ class Driver {
     OPASS_REQUIRE(r.task < tasks_.size(), "task source returned unknown task");
     st.task = r.task;
     st.next_input = 0;
+    st.task_start = cluster_.simulator().now();
     ++result_.tasks_executed;
     read_next_input(p);
   }
@@ -182,19 +200,28 @@ class Driver {
   void reads_finished_prefetch(ProcessId p) {
     ProcState& st = states_[p];
     st.computing = st.task;
+    st.computing_start = st.task_start;
     const Task& task = tasks_[st.computing];
     st.events_pending = 2;  // event A: compute; event B: next task's reads
 
     if (task.compute_time > 0) {
-      cluster_.simulator().after(task.compute_time,
-                                 [this, p](Seconds) { cycle_event(p); });
+      cluster_.simulator().after(
+          task.compute_time,
+          [this, p, t = st.computing, s = st.computing_start](Seconds end) {
+            result_.task_spans.push_back({p, t, s, end});
+            cycle_event(p);
+          });
     }
 
     // Event B: fetch the next task's inputs while computing (fires
     // cycle_event itself, directly for kDone or after the reads land).
     pull_prefetched(p, /*first=*/false);
 
-    if (task.compute_time <= 0) cycle_event(p);  // A is trivial
+    if (task.compute_time <= 0) {  // A is trivial
+      result_.task_spans.push_back(
+          {p, st.computing, st.computing_start, cluster_.simulator().now()});
+      cycle_event(p);
+    }
   }
 
   void cycle_event(ProcessId p) {
@@ -255,6 +282,7 @@ class Driver {
   bool prefetch_ = false;
   bool bsp_ = false;
   std::vector<char> retired_;
+  std::vector<Seconds> wave_arrival_;  ///< barrier-park time per process; -1 = not parked
   std::uint32_t wave_active_ = 0;
   std::uint32_t wave_arrived_ = 0;
   std::vector<ProcState> states_;

@@ -23,10 +23,27 @@
 
 namespace opass::runtime {
 
+/// One task's lifetime on a process: from the successful pull to the end of
+/// its compute phase (input reads + compute; any barrier wait afterwards is
+/// accounted separately in ExecutionResult::barrier_stall). Feeds the
+/// per-process task timeline of the Chrome trace exporter.
+struct TaskSpan {
+  ProcessId process = 0;
+  TaskId task = kInvalidTask;
+  Seconds start = 0;  ///< when the task was pulled from the source
+  Seconds end = 0;    ///< when its compute phase completed
+};
+
 /// Outcome of one parallel execution.
 struct ExecutionResult {
   sim::TraceRecorder trace;
   std::vector<Seconds> process_finish_time;  ///< per-process drain time
+  /// Per-task (pull → compute-done) intervals, in compute-completion order.
+  std::vector<TaskSpan> task_spans;
+  /// Per-process seconds spent waiting at BSP per-task barriers (all zero
+  /// unless ExecutorConfig::barrier_per_task). The implicit final barrier is
+  /// not included — it is `makespan - process_finish_time[p]`.
+  std::vector<Seconds> barrier_stall;
   Seconds makespan = 0;                      ///< max finish time (the barrier)
   std::uint32_t tasks_executed = 0;
   std::uint32_t read_failures = 0;  ///< aborted reads retried on another replica

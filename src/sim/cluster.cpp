@@ -1,5 +1,7 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
+
 namespace opass::sim {
 
 Cluster::Cluster(std::uint32_t node_count, ClusterParams params)
@@ -8,7 +10,7 @@ Cluster::Cluster(std::uint32_t node_count, ClusterParams params)
 Cluster::Cluster(const dfs::Topology& topology, ClusterParams params)
     : node_count_(topology.node_count()), params_(params), inflight_(node_count_, 0),
       served_(node_count_, 0), failed_(node_count_, 0), serving_(node_count_, 0),
-      waiting_(node_count_) {
+      waiting_(node_count_), admission_waits_(node_count_, 0), peak_queue_(node_count_, 0) {
   OPASS_REQUIRE(node_count_ > 0, "cluster needs at least one node");
   disk_.reserve(node_count_);
   nic_in_.reserve(node_count_);
@@ -43,6 +45,31 @@ double Cluster::nic_out_utilization(dfs::NodeId node) const {
   return sim_.resource_utilization(nic_out_[node]);
 }
 
+Seconds Cluster::disk_busy_time(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return sim_.resource_busy_time(disk_[node]);
+}
+
+std::uint32_t Cluster::disk_peak_load(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return sim_.resource_peak_load(disk_[node]);
+}
+
+std::uint64_t Cluster::disk_degraded_joins(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return sim_.resource_degraded_joins(disk_[node]);
+}
+
+std::uint64_t Cluster::admission_waits(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return admission_waits_[node];
+}
+
+std::uint32_t Cluster::peak_admission_queue(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return peak_queue_[node];
+}
+
 void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
                    std::function<void(Seconds)> on_complete,
                    std::function<void(Seconds)> on_failure) {
@@ -70,6 +97,9 @@ void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
   if (params_.max_concurrent_serves > 0 &&
       serving_[server] >= params_.max_concurrent_serves) {
     waiting_[server].push_back(id);
+    ++admission_waits_[server];
+    peak_queue_[server] =
+        std::max(peak_queue_[server], static_cast<std::uint32_t>(waiting_[server].size()));
     return;
   }
   admit(id);

@@ -114,6 +114,24 @@ class Cluster {
   /// Busy fraction of a node's egress NIC.
   double nic_out_utilization(dfs::NodeId node) const;
 
+  /// Cumulative seconds the node's disk had at least one active transfer.
+  Seconds disk_busy_time(dfs::NodeId node) const;
+
+  /// Peak number of concurrent transfers on the node's disk — the depth of
+  /// the hot-node convoy the paper's Fig. 1 observes.
+  std::uint32_t disk_peak_load(dfs::NodeId node) const;
+
+  /// How often a transfer arrived at this node's disk while it was already
+  /// serving (head-thrash degradation events; see FlowSimulator).
+  std::uint64_t disk_degraded_joins(dfs::NodeId node) const;
+
+  /// Number of reads that had to wait in the node's admission FIFO (only
+  /// non-zero when params().max_concurrent_serves > 0).
+  std::uint64_t admission_waits(dfs::NodeId node) const;
+
+  /// Peak depth of the node's admission FIFO over the run so far.
+  std::uint32_t peak_admission_queue(dfs::NodeId node) const;
+
   /// Run the simulation to quiescence; returns the final virtual time.
   Seconds run() { return sim_.run(); }
 
@@ -145,6 +163,8 @@ class Cluster {
   std::uint64_t next_read_id_ = 0;
   std::vector<std::uint32_t> serving_;             // admitted reads per node
   std::vector<std::deque<std::uint64_t>> waiting_;  // admission FIFO per node
+  std::vector<std::uint64_t> admission_waits_;     // reads ever queued, per node
+  std::vector<std::uint32_t> peak_queue_;          // max FIFO depth, per node
 };
 
 }  // namespace opass::sim

@@ -35,7 +35,12 @@ FlowId FlowSimulator::start_flow(std::vector<ResourceId> resources, Bytes bytes,
   f.rate_cap = rate_cap;
   f.on_complete = std::move(on_complete);
   f.active = true;
-  for (ResourceId r : f.resources) ++resources_[r].active;
+  for (ResourceId r : f.resources) {
+    Resource& res = resources_[r];
+    if (res.beta > 0 && res.active > 0) ++res.degraded_joins;
+    ++res.active;
+    res.peak_active = std::max(res.peak_active, res.active);
+  }
   flows_.push_back(std::move(f));
   ++flows_active_;
   rates_dirty_ = true;
@@ -50,6 +55,16 @@ void FlowSimulator::at(Seconds when, std::function<void(Seconds)> fn) {
 std::uint32_t FlowSimulator::resource_load(ResourceId r) const {
   OPASS_REQUIRE(r < resources_.size(), "resource out of range");
   return resources_[r].active;
+}
+
+std::uint32_t FlowSimulator::resource_peak_load(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].peak_active;
+}
+
+std::uint64_t FlowSimulator::resource_degraded_joins(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].degraded_joins;
 }
 
 void FlowSimulator::cancel_flow(FlowId id) {

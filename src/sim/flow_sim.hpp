@@ -69,6 +69,16 @@ class FlowSimulator {
   /// Number of active flows using a resource (for load-aware policies).
   std::uint32_t resource_load(ResourceId r) const;
 
+  /// Highest number of flows ever simultaneously active on the resource —
+  /// the peak queue depth of the disk/NIC over the run so far.
+  std::uint32_t resource_peak_load(ResourceId r) const;
+
+  /// Number of flow arrivals that found the resource already occupied while
+  /// its degradation factor is positive — i.e. how often a disk was pushed
+  /// into the head-thrash regime (`cap / (1 + beta * (k - 1))`). Always 0
+  /// for beta == 0 resources (NICs, uplinks).
+  std::uint64_t resource_degraded_joins(ResourceId r) const;
+
   /// Cumulative time the resource had at least one active flow (busy time).
   Seconds resource_busy_time(ResourceId r) const;
 
@@ -82,9 +92,11 @@ class FlowSimulator {
   struct Resource {
     BytesPerSec capacity;
     double beta;
-    std::uint32_t active = 0;  // flows currently crossing this resource
-    double busy_time = 0;      // accumulated time with active > 0
-    double bytes_served = 0;   // accumulated throughput
+    std::uint32_t active = 0;      // flows currently crossing this resource
+    std::uint32_t peak_active = 0; // max concurrent flows seen so far
+    std::uint64_t degraded_joins = 0;  // arrivals into an occupied beta>0 disk
+    double busy_time = 0;          // accumulated time with active > 0
+    double bytes_served = 0;       // accumulated throughput
   };
 
   struct Flow {

@@ -2,6 +2,15 @@
 // instrumentation the paper used ("we record the I/O time taken to read each
 // chunk file" and "a monitor to record the amount of data served by each
 // storage node").
+//
+// The recorder is the ground truth every observability surface derives from:
+// the figure series below, the obs::MetricsRegistry collectors
+// (obs/collect.hpp), the Chrome trace-event exporter (obs/chrome_trace.hpp)
+// and the per-node hotspot report (obs/hotspot.hpp) all reduce the same
+// ReadRecord vector. Records are appended in completion order by the
+// executor; because the simulator is deterministic under a fixed seed, the
+// record sequence — and therefore everything derived from it — replays
+// byte-identically.
 #pragma once
 
 #include <cstdint>
@@ -12,26 +21,39 @@
 
 namespace opass::sim {
 
-/// One completed read operation.
+/// One completed read operation: who asked, who served, how much, and when.
+/// `issue_time`/`end_time` are virtual (simulated) seconds from the cluster
+/// clock; `io_time()` is the paper's per-chunk "I/O time" (request to last
+/// byte, including positioning latency and any admission-queue wait).
 struct ReadRecord {
   std::uint32_t process = 0;      ///< issuing process rank
   dfs::NodeId reader_node = 0;    ///< node the process runs on
   dfs::NodeId serving_node = 0;   ///< node that served the data
-  dfs::ChunkId chunk = 0;
-  Bytes bytes = 0;
+  dfs::ChunkId chunk = 0;         ///< chunk that was read
+  Bytes bytes = 0;                ///< payload size of the read
   Seconds issue_time = 0;         ///< when the request was issued
   Seconds end_time = 0;           ///< when the last byte arrived
-  bool local = false;
+  bool local = false;             ///< served from the reader's own node
 
+  /// Wall-clock (virtual) duration of the operation.
   Seconds io_time() const { return end_time - issue_time; }
 };
 
-/// Collects ReadRecords and derives the per-figure series.
+/// Collects ReadRecords and derives the per-figure series. Append-only;
+/// derivations are pure functions of the record vector, so the recorder can
+/// be reduced repeatedly (and by several exporters) without interference.
 class TraceRecorder {
  public:
+  /// Append one completed read. Records arrive in completion order.
   void add(const ReadRecord& r) { records_.push_back(r); }
+
+  /// All records, in the order they were added.
   const std::vector<ReadRecord>& records() const { return records_; }
+
+  /// Number of recorded reads.
   std::size_t size() const { return records_.size(); }
+
+  /// Drop all records (e.g. between epochs of an iterative run).
   void clear() { records_.clear(); }
 
   /// Per-op I/O times in completion order (Fig. 7(c) / 9 / 11 / 12 series).
@@ -40,13 +62,15 @@ class TraceRecorder {
   /// Per-op I/O times ordered by issue time.
   std::vector<double> io_times_by_issue() const;
 
-  /// Bytes served by each node (Fig. 1(a) / 8 / 10 series).
+  /// Bytes served by each node (Fig. 1(a) / 8 / 10 series) — the paper's
+  /// serve-imbalance signal. `node_count` sizes the result; every record
+  /// must reference a node below it.
   std::vector<Bytes> bytes_served_per_node(std::uint32_t node_count) const;
 
   /// Chunk-request count served by each node.
   std::vector<std::uint32_t> ops_served_per_node(std::uint32_t node_count) const;
 
-  /// Fraction of operations served locally, in [0, 1].
+  /// Fraction of operations served locally, in [0, 1]; 0 when empty.
   double local_fraction() const;
 
   /// Completion time of the last operation (parallel makespan).

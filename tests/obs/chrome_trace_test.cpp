@@ -1,0 +1,91 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace opass::obs {
+namespace {
+
+runtime::ExecutionResult recorded_run(std::uint64_t seed = 42) {
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 16;
+  cfg.seed = seed;
+  runtime::ExecutionResult raw;
+  cfg.raw = &raw;
+  exp::run_single_data(cfg, /*chunk_count=*/64, exp::Method::kOpass);
+  return raw;
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(ChromeTrace, EmptyBuilderRendersValidSkeleton) {
+  ChromeTraceBuilder builder;
+  EXPECT_EQ(builder.event_count(), 0u);
+  const std::string json = builder.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RoundTripsARecordedExecutorRun) {
+  const runtime::ExecutionResult raw = recorded_run();
+  ASSERT_FALSE(raw.trace.records().empty());
+  ASSERT_FALSE(raw.task_spans.empty());
+
+  ChromeTraceBuilder builder;
+  builder.set_process_name(0, "opass");
+  builder.add_execution(raw, /*pid=*/0);
+  // One duration event per read record plus one per task span.
+  EXPECT_EQ(builder.event_count(), raw.trace.records().size() + raw.task_spans.size());
+
+  const std::string json = builder.json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), builder.event_count());
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 1u);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"task\""), std::string::npos);
+  // Negative numbers may only appear inside args (never in ts/dur).
+  EXPECT_EQ(json.find("\"ts\": -"), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\": -"), std::string::npos);
+}
+
+TEST(ChromeTrace, ExportIsByteDeterministic) {
+  ChromeTraceBuilder a;
+  ChromeTraceBuilder b;
+  a.set_process_name(0, "opass");
+  b.set_process_name(0, "opass");
+  a.add_execution(recorded_run(), 0);
+  b.add_execution(recorded_run(), 0);
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(ChromeTrace, DistinctPidsKeepMethodsSeparate) {
+  ChromeTraceBuilder builder;
+  builder.set_process_name(0, "baseline");
+  builder.set_process_name(1, "opass");
+  builder.add_execution(recorded_run(1), 0);
+  builder.add_execution(recorded_run(2), 1);
+  const std::string json = builder.json();
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 2u);
+}
+
+TEST(ChromeTrace, ConvenienceWrapperMatchesBuilder) {
+  const runtime::ExecutionResult raw = recorded_run();
+  ChromeTraceBuilder builder;
+  builder.add_execution(raw, 0);
+  EXPECT_EQ(to_chrome_trace_json(raw), builder.json());
+}
+
+}  // namespace
+}  // namespace opass::obs

@@ -1,0 +1,139 @@
+#include "obs/collect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/experiment.hpp"
+#include "opass/assignment_stats.hpp"
+
+namespace opass::obs {
+namespace {
+
+constexpr std::uint32_t kNodes = 16;
+constexpr std::uint32_t kChunks = 80;
+
+exp::ExperimentConfig config() {
+  exp::ExperimentConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.seed = 42;
+  return cfg;
+}
+
+double jain_of_bytes(const std::vector<Bytes>& per_node) {
+  std::vector<double> values;
+  values.reserve(per_node.size());
+  for (const Bytes b : per_node) values.push_back(static_cast<double>(b));
+  return jain_fairness(values);
+}
+
+TEST(Collect, PerNodeBytesServedMatchTheTrace) {
+  exp::ExperimentConfig cfg = config();
+  MetricsRegistry reg;
+  runtime::ExecutionResult raw;
+  cfg.metrics = &reg;
+  cfg.raw = &raw;
+  exp::run_single_data(cfg, kChunks, exp::Method::kOpass);
+
+  const std::vector<Bytes> expected = raw.trace.bytes_served_per_node(kNodes);
+  const std::vector<std::uint32_t> expected_ops = raw.trace.ops_served_per_node(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const std::string node = "opass.executor.node." + std::to_string(n);
+    EXPECT_EQ(reg.at(node + ".bytes_served").counter, expected[n]) << node;
+    EXPECT_EQ(reg.at(node + ".ops_served").counter, expected_ops[n]) << node;
+  }
+}
+
+TEST(Collect, ObservedBytesMatchThePlannedAssignmentStats) {
+  // The executor always prefers a co-located replica, so for a static plan
+  // the observed local/total byte split must equal what assignment_stats
+  // predicted for the very same plan.
+  exp::ExperimentConfig cfg = config();
+  MetricsRegistry reg;
+  cfg.metrics = &reg;
+  exp::run_single_data(cfg, kChunks, exp::Method::kOpass);
+
+  const exp::PlannedScenario sc = exp::plan_single_data(config(), kChunks,
+                                                        exp::Method::kOpass);
+  const core::AssignmentStats stats =
+      core::evaluate_assignment(sc.nn, sc.tasks, sc.assignment, sc.placement);
+  EXPECT_EQ(reg.at("opass.executor.bytes_total").counter, stats.total_bytes);
+  EXPECT_EQ(reg.at("opass.executor.bytes_local").counter, stats.local_bytes);
+  EXPECT_EQ(reg.at("opass.executor.bytes_remote").counter,
+            stats.total_bytes - stats.local_bytes);
+  // The planner collector ran too (opass run) and must agree on the totals.
+  EXPECT_EQ(reg.at("opass.planner.total_bytes").counter, stats.total_bytes);
+  EXPECT_EQ(reg.at("opass.planner.local_bytes").counter, stats.local_bytes);
+}
+
+TEST(Collect, HotspotOrderingIsConsistentWithAssignmentStats) {
+  // The acceptance criterion: per-node serving imbalance observed in the
+  // simulator reproduces the ordering the planner predicts — Opass balances
+  // at least as well as the baseline on the same layout (Figs. 8/10).
+  exp::ExperimentConfig cfg = config();
+  runtime::ExecutionResult base_raw;
+  runtime::ExecutionResult opass_raw;
+  cfg.raw = &base_raw;
+  exp::run_single_data(cfg, kChunks, exp::Method::kBaseline);
+  cfg.raw = &opass_raw;
+  exp::run_single_data(cfg, kChunks, exp::Method::kOpass);
+
+  const double jain_base = jain_of_bytes(base_raw.trace.bytes_served_per_node(kNodes));
+  const double jain_opass = jain_of_bytes(opass_raw.trace.bytes_served_per_node(kNodes));
+  EXPECT_GE(jain_opass, jain_base);
+
+  // And the observed ordering agrees with what assignment_stats predicted
+  // for the very same plans: more planned locality => fairer serving.
+  const auto planned_local = [&](exp::Method method) {
+    const exp::PlannedScenario sc = exp::plan_single_data(config(), kChunks, method);
+    return core::evaluate_assignment(sc.nn, sc.tasks, sc.assignment, sc.placement)
+        .local_fraction();
+  };
+  EXPECT_GE(planned_local(exp::Method::kOpass), planned_local(exp::Method::kBaseline));
+  EXPECT_GE(opass_raw.trace.local_fraction(), base_raw.trace.local_fraction());
+}
+
+TEST(Collect, MethodPrefixesKeepAComparisonInOneRegistry) {
+  exp::ExperimentConfig cfg = config();
+  MetricsRegistry reg;
+  cfg.metrics = &reg;
+  exp::run_single_data(cfg, kChunks, exp::Method::kBaseline);
+  exp::run_single_data(cfg, kChunks, exp::Method::kOpass);
+  EXPECT_TRUE(reg.contains("baseline.executor.makespan_s"));
+  EXPECT_TRUE(reg.contains("opass.executor.makespan_s"));
+  EXPECT_TRUE(reg.contains("baseline.cluster.node.0.disk_busy_s"));
+  EXPECT_TRUE(reg.contains("opass.planner.locally_matched"));
+  EXPECT_FALSE(reg.contains("baseline.planner.locally_matched"));
+  // Opass reads at least as locally as the baseline on the same layout.
+  EXPECT_GE(reg.at("opass.executor.reads_local").counter,
+            reg.at("baseline.executor.reads_local").counter);
+}
+
+TEST(Collect, DynamicSchedulerCountersCoverEveryDispatch) {
+  exp::ExperimentConfig cfg = config();
+  MetricsRegistry reg;
+  cfg.metrics = &reg;
+  const exp::RunOutput out = exp::run_dynamic(cfg, kChunks, exp::Method::kOpass);
+  // Every dispensed task came off a guideline list or was stolen.
+  EXPECT_EQ(reg.at("opass.dynamic.guideline_hits").counter +
+                reg.at("opass.dynamic.steals").counter,
+            out.tasks_executed);
+  EXPECT_LE(reg.at("opass.dynamic.steal_local_hits").counter,
+            reg.at("opass.dynamic.steals").counter);
+}
+
+TEST(Collect, IoTimeHistogramAccountsForEveryRead) {
+  exp::ExperimentConfig cfg = config();
+  MetricsRegistry reg;
+  cfg.metrics = &reg;
+  exp::run_single_data(cfg, kChunks, exp::Method::kOpass);
+  const Metric& hist = reg.at("opass.executor.io_time_s");
+  ASSERT_EQ(hist.kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist.histogram.count, reg.at("opass.executor.reads_total").counter);
+  EXPECT_EQ(hist.histogram.upper_bounds, io_time_bounds());
+}
+
+}  // namespace
+}  // namespace opass::obs

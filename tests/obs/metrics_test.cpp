@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics_io.hpp"
+
+namespace opass::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndDefaultsToOne) {
+  MetricsRegistry reg;
+  reg.counter_add("reads");
+  reg.counter_add("reads", 4);
+  EXPECT_EQ(reg.at("reads").kind, MetricKind::kCounter);
+  EXPECT_EQ(reg.at("reads").counter, 5u);
+  EXPECT_TRUE(reg.contains("reads"));
+  EXPECT_FALSE(reg.contains("writes"));
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  reg.gauge_set("makespan_s", 1.5);
+  reg.gauge_set("makespan_s", 2.5);
+  EXPECT_DOUBLE_EQ(reg.at("makespan_s").gauge, 2.5);
+}
+
+TEST(MetricsRegistry, RegistrationOrderIsPreserved) {
+  MetricsRegistry reg;
+  reg.counter_add("b");
+  reg.gauge_set("a", 1.0);
+  reg.counter_add("c");
+  ASSERT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.metrics()[0].name, "b");
+  EXPECT_EQ(reg.metrics()[1].name, "a");
+  EXPECT_EQ(reg.metrics()[2].name, "c");
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter_add("x");
+  EXPECT_THROW(reg.gauge_set("x", 1.0), std::invalid_argument);
+}
+
+// --- histogram edge cases ---------------------------------------------------
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  MetricsRegistry reg;
+  reg.define_histogram("h", {1.0, 2.0});
+  const HistogramData& h = reg.at("h").histogram;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.overflow(), 0u);
+  ASSERT_EQ(h.buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(h.buckets[0] + h.buckets[1] + h.buckets[2], 0u);
+}
+
+TEST(Histogram, SingleSampleLandsInFirstMatchingBucket) {
+  MetricsRegistry reg;
+  reg.define_histogram("h", {1.0, 2.0, 4.0});
+  reg.observe("h", 1.5);  // first bucket with 1.5 <= bound is "le 2.0"
+  const HistogramData& h = reg.at("h").histogram;
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.5);
+  EXPECT_DOUBLE_EQ(h.min, 1.5);
+  EXPECT_DOUBLE_EQ(h.max, 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_EQ(h.buckets[0], 0u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BoundaryValueIsInclusive) {
+  MetricsRegistry reg;
+  reg.define_histogram("h", {1.0, 2.0});
+  reg.observe("h", 1.0);  // s <= upper_bounds[0]
+  EXPECT_EQ(reg.at("h").histogram.buckets[0], 1u);
+}
+
+TEST(Histogram, SamplesAboveEveryBoundOverflow) {
+  MetricsRegistry reg;
+  reg.define_histogram("h", {1.0, 2.0});
+  reg.observe("h", 100.0);
+  reg.observe("h", 3.0);
+  const HistogramData& h = reg.at("h").histogram;
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_DOUBLE_EQ(h.min, 3.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+}
+
+TEST(Histogram, RedefineWithIdenticalBoundsIsIdempotent) {
+  MetricsRegistry reg;
+  reg.define_histogram("h", {1.0, 2.0});
+  reg.observe("h", 0.5);
+  reg.define_histogram("h", {1.0, 2.0});  // no-op, samples survive
+  EXPECT_EQ(reg.at("h").histogram.count, 1u);
+  EXPECT_THROW(reg.define_histogram("h", {3.0}), std::invalid_argument);
+}
+
+TEST(Histogram, NonAscendingBoundsRejected) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.define_histogram("h", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.define_histogram("g", {1.0, 1.0}), std::invalid_argument);
+}
+
+// --- exporters --------------------------------------------------------------
+
+void populate(MetricsRegistry& reg) {
+  reg.counter_add("reads", 7);
+  reg.gauge_set("makespan_s", 12.25);
+  reg.define_histogram("io_s", {0.5, 1.0});
+  reg.observe("io_s", 0.25);
+  reg.observe("io_s", 2.0);
+  reg.gauge_set("plan_wall_ms", 3.14, Determinism::kWallClock);
+}
+
+TEST(MetricsIo, JsonIsByteIdenticalAcrossIdenticalRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  populate(a);
+  populate(b);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+TEST(MetricsIo, WallClockMetricsExcludedByDefault) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string json = to_json(reg);
+  EXPECT_EQ(json.find("plan_wall_ms"), std::string::npos);
+  EXPECT_NE(json.find("makespan_s"), std::string::npos);
+
+  ExportOptions opts;
+  opts.include_wall_clock = true;
+  EXPECT_NE(to_json(reg, opts).find("plan_wall_ms"), std::string::npos);
+}
+
+TEST(MetricsIo, CsvFlattensHistograms) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string csv = to_csv(reg);
+  EXPECT_NE(csv.find("io_s.count,"), std::string::npos);
+  EXPECT_NE(csv.find("io_s.overflow,"), std::string::npos);
+  EXPECT_NE(csv.find("io_s.le_0.5,"), std::string::npos);
+}
+
+TEST(MetricsIo, FormatDoubleNormalizesNegativeZero) {
+  EXPECT_EQ(format_double(-0.0), "0");
+  EXPECT_EQ(format_double(0.25), "0.25");
+}
+
+// --- phase timers -----------------------------------------------------------
+
+TEST(PhaseTimers, RecordPhaseWritesDeterministicGauge) {
+  MetricsRegistry reg;
+  record_phase(reg, "solve_s", 1.5, 4.0);
+  EXPECT_DOUBLE_EQ(reg.at("solve_s").gauge, 2.5);
+  EXPECT_EQ(reg.at("solve_s").determinism, Determinism::kDeterministic);
+  EXPECT_THROW(record_phase(reg, "bad", 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(PhaseTimers, ScopedWallTimerWritesWallClockGauge) {
+  MetricsRegistry reg;
+  { ScopedWallTimer timer(reg, "phase_ms"); }
+  ASSERT_TRUE(reg.contains("phase_ms"));
+  EXPECT_EQ(reg.at("phase_ms").determinism, Determinism::kWallClock);
+  EXPECT_GE(reg.at("phase_ms").gauge, 0.0);
+}
+
+}  // namespace
+}  // namespace opass::obs

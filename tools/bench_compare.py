@@ -11,6 +11,13 @@ grow). For every matched scenario the minimum wall time is compared, and the
 exit code is 1 when any current time exceeds the baseline by more than
 --threshold percent (default 20). Correctness fields (audit_ok, parity_ok)
 must hold in the current report regardless of timing.
+
+Embedded observability metrics (the nested "metrics" objects the harnesses
+emit per scenario / per solver) are diffed informationally: numeric drift is
+printed but never fails the comparison — wall times drift with the host,
+and counters only change when behaviour changes, which the tier-1 tests gate.
+Fields this script does not recognise are reported as warnings so schema
+growth is always visible in CI logs.
 """
 
 from __future__ import annotations
@@ -18,6 +25,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+# Known per-scenario / per-solver keys; anything else triggers a warning.
+_KNOWN_SCENARIO_KEYS = {
+    "name", "nodes", "tasks", "replication", "seed", "repeats",
+    "wall_ms_min", "wall_ms_mean", "makespan_s", "local_pct",
+    "peak_rss_kb", "parity_ok", "algorithms", "metrics",
+}
+_KNOWN_SOLVER_KEYS = {
+    "wall_ms_min", "wall_ms_mean", "locally_matched", "locality_pct",
+    "audit_ok", "metrics",
+}
 
 
 def load(path: str) -> dict:
@@ -36,6 +54,28 @@ def wall_times(scenario: dict) -> dict[str, float]:
             for algo, data in scenario["algorithms"].items()
         }
     return {"wall_ms_min": scenario["wall_ms_min"]}
+
+
+def metric_values(scenario: dict) -> dict[str, float]:
+    """Flatten the embedded "metrics" objects into {dotted_name: value}."""
+    out: dict[str, float] = {}
+    for key, value in scenario.get("metrics", {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"metrics.{key}"] = float(value)
+    for algo, data in scenario.get("algorithms", {}).items():
+        for key, value in data.get("metrics", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"{algo}.metrics.{key}"] = float(value)
+    return out
+
+
+def unknown_field_warnings(scenario: dict) -> list[str]:
+    warnings = [f"unrecognised scenario field '{key}'"
+                for key in sorted(scenario.keys() - _KNOWN_SCENARIO_KEYS)]
+    for algo, data in sorted(scenario.get("algorithms", {}).items()):
+        warnings.extend(f"unrecognised solver field '{algo}.{key}'"
+                        for key in sorted(data.keys() - _KNOWN_SOLVER_KEYS))
+    return warnings
 
 
 def correctness_failures(scenario: dict) -> list[str]:
@@ -76,6 +116,8 @@ def main() -> int:
 
         for issue in correctness_failures(curr_by_name[name]):
             failures.append(f"{name}: {issue}")
+        for warning in unknown_field_warnings(curr_by_name[name]):
+            print(f"  {name}: WARNING: {warning}")
 
         base_times = wall_times(base_by_name[name])
         curr_times = wall_times(curr_by_name[name])
@@ -87,6 +129,17 @@ def main() -> int:
                 verdict = "REGRESSION"
                 failures.append(f"{name}: {metric} {b:.3f} -> {c:.3f} ms (+{delta:.1f}%)")
             print(f"  {name}: {metric} {b:.3f} -> {c:.3f} ms ({delta:+.1f}%) {verdict}")
+
+        # Informational: embedded observability metrics. Drift here never
+        # fails the comparison, but changed counters are worth seeing.
+        base_metrics = metric_values(base_by_name[name])
+        curr_metrics = metric_values(curr_by_name[name])
+        for metric in sorted(base_metrics.keys() & curr_metrics.keys()):
+            b, c = base_metrics[metric], curr_metrics[metric]
+            if b != c:
+                print(f"  {name}: {metric} {b:g} -> {c:g} (informational)")
+        for metric in sorted(curr_metrics.keys() - base_metrics.keys()):
+            print(f"  {name}: {metric} new metric (no baseline)")
 
     if failures:
         print(f"\n{len(failures)} failure(s), threshold {args.threshold:.0f}%:")

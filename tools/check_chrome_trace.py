@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (as written by obs::ChromeTraceBuilder).
+
+Usage:
+    tools/check_chrome_trace.py TRACE.json
+
+Checks, in order:
+  1. the file parses as JSON and is an object with a "traceEvents" array;
+  2. every event is an object with a "ph" phase field;
+  3. every "X" (complete) event has numeric ts >= 0 and dur >= 0, plus
+     integer pid/tid and a non-empty name;
+  4. the "X"-event ts sequence is non-decreasing (the builder sorts by
+     timestamp so Perfetto/chrome://tracing streams them in order).
+
+Exit code 0 when the trace is valid, 1 otherwise. Used by the
+`cli_trace_valid` ctest entry and the CI bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def validate(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse {path}: {exc}"]
+
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        return [f"{path}: top level must be an object with a 'traceEvents' array"]
+
+    events = trace["traceEvents"]
+    complete = 0
+    last_ts = None
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            errors.append(f"event {i}: not an object with a 'ph' field")
+            continue
+        if ev["ph"] != "X":
+            continue
+        complete += 1
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"event {i}: ts {ts!r} is not a non-negative number")
+            continue
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            errors.append(f"event {i}: dur {dur!r} is not a non-negative number")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            errors.append(f"event {i}: pid/tid must be integers")
+        if not ev.get("name"):
+            errors.append(f"event {i}: missing name")
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"event {i}: ts {ts} < previous ts {last_ts} (not sorted)")
+        last_ts = ts
+
+    if complete == 0:
+        errors.append(f"{path}: no 'X' (complete) events — empty trace")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = validate(argv[1])
+    for err in errors:
+        print(f"check_chrome_trace: {err}")
+    if errors:
+        return 1
+    print(f"check_chrome_trace: {argv[1]} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,9 @@ Rules (all scoped to src/ unless noted):
                     `struct FooResult` must be declared
                     `struct [[nodiscard]] Foo...` — plans are computed for
                     their value; silently dropping one is always a bug.
+  nodiscard-status  src/obs/ headers only: every `struct FooStatus` must be
+                    declared `struct [[nodiscard]] Foo...` — an ignored
+                    exporter status silently swallows an I/O failure.
 
 Usage:
   opass_lint.py <repo-root>     lint the tree rooted there (exit 1 on findings)
@@ -93,6 +96,9 @@ OPTIONS_NOT_LAST = re.compile(r"\b(\w+Options)\s*&?\s+\w+\s*,")
 # `struct`; the compliant spelling `struct [[nodiscard]] FooPlan` puts the
 # attribute in between and does not match.
 PLAIN_PLAN_STRUCT = re.compile(r"\bstruct\s+(\w+(?:Plan|Result))\b")
+# Same mechanics for exporter status types in src/obs/: `struct FooStatus`
+# matches, `struct [[nodiscard]] FooStatus` does not.
+PLAIN_STATUS_STRUCT = re.compile(r"\bstruct\s+(\w+Status)\b")
 
 
 class Finding:
@@ -181,6 +187,16 @@ def check_nodiscard_plan(path: pathlib.Path, src_root: pathlib.Path, text: str, 
                     "types must not be silently dropped"))
 
 
+def check_nodiscard_status(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
+    if path.suffix != ".hpp" or "obs" not in path.relative_to(src_root).parts[:1]:
+        return
+    for m in PLAIN_STATUS_STRUCT.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "nodiscard-status",
+                    f"declare it 'struct [[nodiscard]] {m.group(1)}' — exporter "
+                    "status must not be silently dropped"))
+
+
 # --- driver -----------------------------------------------------------------
 
 def lint_tree(root: pathlib.Path) -> list:
@@ -199,6 +215,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_include_order(path, src_root, text, findings)
         check_options_last(path, src_root, text, findings)
         check_nodiscard_plan(path, src_root, text, findings)
+        check_nodiscard_status(path, src_root, text, findings)
     return findings
 
 
@@ -220,6 +237,10 @@ _VIOLATIONS = {
         "opass/bad_plan.hpp",
         "#pragma once\nstruct BadPlan { int x; };\n",
     ),
+    "nodiscard-status": (
+        "obs/bad_status.hpp",
+        "#pragma once\nstruct BadStatus { bool ok = true; };\n",
+    ),
 }
 
 _CLEANS = (
@@ -239,6 +260,13 @@ _CLEANS = (
         "GoodPlan g(int x, GoodOptions options = {});\n"
         "inline GoodPlan h(int x) { return g(x, GoodOptions{1}); }\n"
         "struct Holder { GoodOptions options_; };\n",
+    ),
+    (
+        # The compliant exporter-status spelling nodiscard-status must NOT flag.
+        "obs/clean_status.hpp",
+        "#pragma once\n"
+        "struct [[nodiscard]] GoodStatus { bool ok = true; };\n"
+        "GoodStatus write_something(int x);\n",
     ),
 )
 

@@ -45,6 +45,7 @@ constexpr Scenario kScenarios[] = {
     {"medium-128n-1280t-r3", 128, 1280, 3, 3, 5, true},
     {"wide-256n-2560t-r3", 256, 2560, 3, 6, 5, false},
     {"large-256n-10240t-r3", 256, 10240, 3, 7, 3, false},
+    {"huge-1024n-40960t-r3", 1024, 40960, 3, 9, 3, false},
 };
 
 long peak_rss_kb() {
@@ -129,6 +130,12 @@ int main(int argc, char** argv) {
           std::max(disk_peak_load_max, reg.at(node + ".disk_peak_load").gauge);
       degraded_joins += reg.at(node + ".disk_degraded_joins").counter;
     }
+    // Engine scalability gauges: flow_slots tracks peak concurrency thanks to
+    // slot reuse (it must stay near the process count, never the read total).
+    const double flow_slots = reg.at("cluster.sim.flow_slots").gauge;
+    const std::uint64_t rate_recomputes = reg.at("cluster.sim.rate_recomputes").counter;
+    const std::uint64_t relevel_touched =
+        reg.at("cluster.sim.rate_recompute_touched_flows").counter;
 
     std::fprintf(f, "%s", first ? "" : ",\n");
     first = false;
@@ -139,14 +146,18 @@ int main(int argc, char** argv) {
                  "\"local_pct\": %.2f, \"peak_rss_kb\": %ld,\n"
                  "     \"metrics\": {\"reads_total\": %llu, \"reads_local\": %llu, "
                  "\"bytes_local_mib\": %.2f, \"read_failures\": %llu, "
-                 "\"disk_peak_load_max\": %.0f, \"disk_degraded_joins\": %llu}}",
+                 "\"disk_peak_load_max\": %.0f, \"disk_degraded_joins\": %llu, "
+                 "\"flow_slots\": %.0f, \"rate_recomputes\": %llu, "
+                 "\"relevel_touched_flows\": %llu}}",
                  sc.name, sc.nodes, sc.tasks, sc.replication,
                  static_cast<unsigned long long>(sc.seed), sc.repeats, wall_ms_min,
                  total_ms / sc.repeats, makespan, local_pct, peak_rss_kb(),
                  static_cast<unsigned long long>(reads_total),
                  static_cast<unsigned long long>(reads_local), to_mib(bytes_local),
                  static_cast<unsigned long long>(read_failures), disk_peak_load_max,
-                 static_cast<unsigned long long>(degraded_joins));
+                 static_cast<unsigned long long>(degraded_joins), flow_slots,
+                 static_cast<unsigned long long>(rate_recomputes),
+                 static_cast<unsigned long long>(relevel_touched));
 
     std::printf("%-24s replay %8.3f ms  makespan %8.2f s  local %5.1f%%\n", sc.name,
                 wall_ms_min, makespan, local_pct);

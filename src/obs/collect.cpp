@@ -56,6 +56,21 @@ void collect_execution(MetricsRegistry& registry, const runtime::ExecutionResult
 
 void collect_cluster(MetricsRegistry& registry, const sim::Cluster& cluster,
                      const std::string& prefix) {
+  // Engine-level scalability gauges: slot pools are reused, so slot counts
+  // track peak concurrency (bounded by processes x inputs in flight), not the
+  // total number of flows/reads ever started; the recompute counters expose
+  // how much re-leveling work the incremental max-min engine actually did.
+  const sim::FlowSimulator& s = cluster.simulator();
+  registry.gauge_set(prefix + ".sim.flow_slots", static_cast<double>(s.flow_slot_count()));
+  registry.gauge_set(prefix + ".sim.peak_active_flows",
+                     static_cast<double>(s.peak_active_flows()));
+  registry.gauge_set(prefix + ".sim.read_slots", static_cast<double>(cluster.read_slot_count()));
+  registry.counter_add(prefix + ".sim.rate_recomputes", s.rate_recomputes());
+  registry.counter_add(prefix + ".sim.rate_recompute_touched_flows",
+                       s.rate_recompute_touched_flows());
+  registry.gauge_set(prefix + ".sim.max_relevel_component",
+                     static_cast<double>(s.max_relevel_component()));
+  registry.counter_add(prefix + ".sim.eta_stale_pops", s.eta_stale_pops());
   for (std::uint32_t n = 0; n < cluster.node_count(); ++n) {
     const std::string node = prefix + ".node." + std::to_string(n);
     registry.gauge_set(node + ".disk_busy_s", cluster.disk_busy_time(n));

@@ -122,7 +122,11 @@ class Driver {
   void release_wave() {
     const Seconds now = cluster_.simulator().now();
     wave_arrived_ = 0;
-    std::vector<ProcessId> wave;
+    // Reuse the hoisted buffer's capacity, but own it locally for the
+    // duration: pull_next_task can reenter release_wave (a zero-input task
+    // completes synchronously), and the inner call must not clobber ours.
+    std::vector<ProcessId> wave = std::move(wave_buf_);
+    wave.clear();
     for (ProcessId p = 0; p < states_.size(); ++p)
       if (!retired_[p]) wave.push_back(p);
     for (ProcessId p : wave) {
@@ -132,6 +136,7 @@ class Driver {
       }
     }
     for (ProcessId p : wave) pull_next_task(p);
+    wave_buf_ = std::move(wave);
   }
 
   void read_next_input(ProcessId p) {
@@ -241,26 +246,35 @@ class Driver {
   void issue_read(ProcessId p, dfs::ChunkId cid) {
     const ProcState& st = states_[p];
     // Serve from live replicas only; a node that failed mid-run is skipped
-    // (metadata-level re-replication is the NameNode's job, not ours).
-    dfs::ChunkInfo alive = nn_.chunk(cid);
-    std::erase_if(alive.replicas,
-                  [this](dfs::NodeId n) { return cluster_.is_failed(n); });
-    OPASS_REQUIRE(!alive.replicas.empty(),
-                  "all replicas of a chunk are on failed nodes");
-    const dfs::NodeId server = dfs::choose_serving_node(
-        alive, st.node, cluster_.inflight_per_node(), replica_choice_, rng_);
+    // (metadata-level re-replication is the NameNode's job, not ours). On a
+    // healthy cluster the filter is a no-op, so skip the ChunkInfo copy it
+    // would need — this path runs once per read.
+    const dfs::ChunkInfo& info = nn_.chunk(cid);
+    dfs::NodeId server;
+    if (!cluster_.has_failed_nodes()) {
+      server = dfs::choose_serving_node(info, st.node, cluster_.inflight_per_node(),
+                                        replica_choice_, rng_);
+    } else {
+      dfs::ChunkInfo alive = info;
+      std::erase_if(alive.replicas,
+                    [this](dfs::NodeId n) { return cluster_.is_failed(n); });
+      OPASS_REQUIRE(!alive.replicas.empty(),
+                    "all replicas of a chunk are on failed nodes");
+      server = dfs::choose_serving_node(alive, st.node, cluster_.inflight_per_node(),
+                                        replica_choice_, rng_);
+    }
 
     sim::ReadRecord rec;
     rec.process = p;
     rec.reader_node = st.node;
     rec.serving_node = server;
     rec.chunk = cid;
-    rec.bytes = alive.size;
+    rec.bytes = info.size;
     rec.issue_time = cluster_.simulator().now();
     rec.local = server == st.node;
 
     cluster_.read(
-        st.node, server, alive.size,
+        st.node, server, info.size,
         [this, p, rec](Seconds end) mutable {
           rec.end_time = end;
           result_.trace.add(rec);
@@ -283,6 +297,7 @@ class Driver {
   bool bsp_ = false;
   std::vector<char> retired_;
   std::vector<Seconds> wave_arrival_;  ///< barrier-park time per process; -1 = not parked
+  std::vector<ProcessId> wave_buf_;    ///< reusable wave scratch for release_wave
   std::uint32_t wave_active_ = 0;
   std::uint32_t wave_arrived_ = 0;
   std::vector<ProcState> states_;

@@ -83,14 +83,28 @@ void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
   }
   ++inflight_[server];
 
-  const std::uint64_t id = next_read_id_++;
-  ReadOp op;
+  std::uint32_t slot;
+  if (!free_read_slots_.empty()) {
+    slot = free_read_slots_.back();
+    free_read_slots_.pop_back();
+  } else {
+    OPASS_CHECK(read_pool_.size() < 0xffffffffull, "read slot space exhausted");
+    slot = static_cast<std::uint32_t>(read_pool_.size());
+    read_pool_.emplace_back();
+  }
+  ReadOp& op = read_pool_[slot];
+  OPASS_CHECK(!op.active && !op.on_complete && !op.on_failure,
+              "read slot reused before being fully retired");
   op.reader = reader;
   op.server = server;
   op.bytes = bytes;
+  op.tag = static_cast<std::uint32_t>(++read_seq_);
+  op.active = true;
+  op.admitted = false;
+  op.transferring = false;
   op.on_complete = std::move(on_complete);
   op.on_failure = std::move(on_failure);
-  active_reads_.emplace(id, std::move(op));
+  const ReadId id = (static_cast<ReadId>(op.tag) << 32) | slot;
 
   // DataNode admission gate (xceiver limit): queue when the server already
   // serves its maximum number of concurrent reads.
@@ -105,8 +119,22 @@ void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
   admit(id);
 }
 
-void Cluster::admit(std::uint64_t id) {
-  ReadOp& op = active_reads_.at(id);
+/// Return a finished/aborted read's slot to the free list, releasing any
+/// callback state it still holds.
+void Cluster::retire_read(std::uint32_t slot) {
+  ReadOp& op = read_pool_[slot];
+  op.active = false;
+  op.transferring = false;
+  op.on_complete = nullptr;
+  op.on_failure = nullptr;
+  free_read_slots_.push_back(slot);
+}
+
+void Cluster::admit(ReadId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  ReadOp& op = read_pool_[slot];
+  OPASS_CHECK(op.active && op.tag == static_cast<std::uint32_t>(id >> 32),
+              "admitted read missing from the active set");
   op.admitted = true;
   ++serving_[op.server];
 
@@ -114,13 +142,15 @@ void Cluster::admit(std::uint64_t id) {
   const bool cross_rack = rack_of_node_[op.reader] != rack_of_node_[op.server];
   const Seconds latency = params_.seek_latency + (local ? 0.0 : params_.remote_latency) +
                           (cross_rack ? params_.cross_rack_latency : 0.0);
-  const BytesPerSec cap = local ? 0.0 : params_.remote_stream_cap;
 
   // The positioning latency elapses before the transfer occupies bandwidth.
-  sim_.after(latency, [this, id, cap](Seconds) {
-    const auto it = active_reads_.find(id);
-    if (it == active_reads_.end()) return;  // aborted by a failure meanwhile
-    ReadOp& read = it->second;
+  // Captures are kept to {this, id} so the std::function stays within the
+  // small-buffer optimization — no per-read heap allocation here.
+  sim_.after(latency, [this, id](Seconds) {
+    const std::uint32_t rslot = static_cast<std::uint32_t>(id);
+    ReadOp& read = read_pool_[rslot];
+    if (!read.active || read.tag != static_cast<std::uint32_t>(id >> 32))
+      return;  // aborted by a failure meanwhile
     std::vector<ResourceId> path;
     if (read.reader == read.server) {
       path = {disk_[read.server]};
@@ -131,20 +161,24 @@ void Cluster::admit(std::uint64_t id) {
         path.push_back(rack_down_[rack_of_node_[read.reader]]);
       }
     }
+    const BytesPerSec cap = read.reader == read.server ? 0.0 : params_.remote_stream_cap;
     read.transferring = true;
     read.flow = sim_.start_flow(std::move(path), read.bytes,
                               [this, id](Seconds end) {
-                                const auto it2 = active_reads_.find(id);
-                                OPASS_CHECK(it2 != active_reads_.end(),
+                                const std::uint32_t cslot = static_cast<std::uint32_t>(id);
+                                ReadOp& done = read_pool_[cslot];
+                                OPASS_CHECK(done.active &&
+                                                done.tag == static_cast<std::uint32_t>(id >> 32),
                                             "completed read missing from the active set");
-                                ReadOp done = std::move(it2->second);
-                                active_reads_.erase(it2);
                                 OPASS_CHECK(inflight_[done.server] > 0,
                                             "in-flight count underflow");
                                 --inflight_[done.server];
                                 served_[done.server] += done.bytes;
-                                release_serve_slot(done.server);
-                                if (done.on_complete) done.on_complete(end);
+                                const dfs::NodeId server = done.server;
+                                auto cb = std::move(done.on_complete);
+                                retire_read(cslot);
+                                release_serve_slot(server);
+                                if (cb) cb(end);
                               },
                               cap);
   });
@@ -167,14 +201,14 @@ void Cluster::fail_node(dfs::NodeId node, Seconds when) {
   sim_.at(when, [this, node](Seconds t) {
     if (failed_[node]) return;
     failed_[node] = 1;
-    // Abort every read this node is serving or queueing.
+    any_failed_ = true;
+    // Abort every read this node is serving or queueing. The pool holds one
+    // slot per in-flight read (peak concurrency, not total reads), so this
+    // scan is proportional to the live set.
     std::vector<std::function<void(Seconds)>> failures;
-    for (auto it = active_reads_.begin(); it != active_reads_.end();) {
-      if (it->second.server != node) {
-        ++it;
-        continue;
-      }
-      ReadOp& op = it->second;
+    for (std::uint32_t slot = 0; slot < read_pool_.size(); ++slot) {
+      ReadOp& op = read_pool_[slot];
+      if (!op.active || op.server != node) continue;
       if (op.transferring) sim_.cancel_flow(op.flow);
       if (op.admitted) {
         OPASS_CHECK(serving_[node] > 0, "serve-slot count underflow");
@@ -183,7 +217,7 @@ void Cluster::fail_node(dfs::NodeId node, Seconds when) {
       OPASS_CHECK(inflight_[node] > 0, "in-flight count underflow");
       --inflight_[node];
       if (op.on_failure) failures.push_back(std::move(op.on_failure));
-      it = active_reads_.erase(it);
+      retire_read(slot);
     }
     waiting_[node].clear();
     for (auto& cb : failures) cb(t);

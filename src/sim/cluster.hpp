@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -86,6 +85,10 @@ class Cluster {
   /// True once the node's failure time has passed.
   bool is_failed(dfs::NodeId node) const;
 
+  /// True once any node's failure time has passed (cheap global check that
+  /// lets readers skip per-replica liveness filtering on healthy clusters).
+  bool has_failed_nodes() const { return any_failed_; }
+
   /// Network-only transfer `src` -> `dst` (no disk involvement): MPI
   /// messages, RPCs. Same-node sends pay only the local software latency.
   void send(dfs::NodeId src, dfs::NodeId dst, Bytes bytes,
@@ -135,11 +138,23 @@ class Cluster {
   /// Run the simulation to quiescence; returns the final virtual time.
   Seconds run() { return sim_.run(); }
 
+  /// Read-op slots ever allocated. Slots are reused from a free list, so this
+  /// equals the peak number of simultaneously in-flight reads, not the total
+  /// number of reads issued.
+  std::uint32_t read_slot_count() const { return static_cast<std::uint32_t>(read_pool_.size()); }
+
  private:
+  /// Internal read handle: low 32 bits address a reusable slot in
+  /// `read_pool_`, high 32 bits carry the generation tag that makes handles
+  /// to finished reads inert (same scheme as sim::FlowId).
+  using ReadId = std::uint64_t;
+
   struct ReadOp {
-    dfs::NodeId reader;
-    dfs::NodeId server;
-    Bytes bytes;
+    dfs::NodeId reader = 0;
+    dfs::NodeId server = 0;
+    Bytes bytes = 0;
+    std::uint32_t tag = 0;      // generation of the current occupant
+    bool active = false;        // slot occupied
     bool admitted = false;      // past the per-node admission gate
     bool transferring = false;  // false while in the positioning phase
     FlowId flow = 0;            // valid when transferring
@@ -147,7 +162,8 @@ class Cluster {
     std::function<void(Seconds)> on_failure;
   };
 
-  void admit(std::uint64_t id);
+  void admit(ReadId id);
+  void retire_read(std::uint32_t slot);
   void release_serve_slot(dfs::NodeId server);
 
   std::uint32_t node_count_;
@@ -159,10 +175,12 @@ class Cluster {
   std::vector<std::uint32_t> inflight_;
   std::vector<Bytes> served_;
   std::vector<char> failed_;
-  std::unordered_map<std::uint64_t, ReadOp> active_reads_;
-  std::uint64_t next_read_id_ = 0;
+  bool any_failed_ = false;
+  std::vector<ReadOp> read_pool_;               // slot pool, free-list reused
+  std::vector<std::uint32_t> free_read_slots_;
+  std::uint64_t read_seq_ = 0;
   std::vector<std::uint32_t> serving_;             // admitted reads per node
-  std::vector<std::deque<std::uint64_t>> waiting_;  // admission FIFO per node
+  std::vector<std::deque<ReadId>> waiting_;        // admission FIFO per node
   std::vector<std::uint64_t> admission_waits_;     // reads ever queued, per node
   std::vector<std::uint32_t> peak_queue_;          // max FIFO depth, per node
 };

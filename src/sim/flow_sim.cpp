@@ -1,7 +1,6 @@
 #include "sim/flow_sim.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 namespace opass::sim {
@@ -17,8 +16,63 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 ResourceId FlowSimulator::add_resource(BytesPerSec capacity, double beta) {
   OPASS_REQUIRE(capacity > 0, "resource capacity must be positive");
   OPASS_REQUIRE(beta >= 0, "degradation factor must be non-negative");
-  resources_.push_back({capacity, beta, 0});
+  Resource res;
+  res.capacity = capacity;
+  res.beta = beta;
+  resources_.push_back(std::move(res));
   return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+double FlowSimulator::bytes_left_at(const Flow& f, Seconds t) const {
+  double left = f.bytes_anchor;
+  if (f.rate > 0 && t > f.anchor_time) left -= f.rate * (t - f.anchor_time);
+  return left;
+}
+
+void FlowSimulator::mark_dirty(ResourceId r) {
+  Resource& res = resources_[r];
+  if (!res.dirty) {
+    res.dirty = true;
+    dirty_resources_.push_back(r);
+  }
+}
+
+void FlowSimulator::push_eta(std::uint32_t slot) {
+  const Flow& f = flows_[slot];
+  double eta;
+  if (f.bytes_anchor <= kByteEps) {
+    eta = now_;  // completes on the next event-loop step
+  } else if (f.rate > 0) {
+    eta = f.anchor_time + f.bytes_anchor / f.rate;
+  } else {
+    return;  // stalled: cannot complete until a rate change re-queues it
+  }
+  etas_.push_back({eta, f.seq, slot, f.epoch});
+  std::push_heap(etas_.begin(), etas_.end(), std::greater<>{});
+}
+
+/// Fold the open progress interval [anchor_time, now] into the flow's byte
+/// balance and its resources' served totals, and move the anchor to now.
+void FlowSimulator::commit_progress(Flow& f) {
+  if (now_ > f.anchor_time) {
+    if (f.rate > 0) {
+      const double moved = f.rate * (now_ - f.anchor_time);
+      f.bytes_anchor -= moved;
+      if (f.bytes_anchor < kByteEps) f.bytes_anchor = 0;
+      for (ResourceId r : f.resources) resources_[r].bytes_served += moved;
+    }
+    f.anchor_time = now_;
+  }
+}
+
+void FlowSimulator::set_rate(std::uint32_t slot, double rate) {
+  Flow& f = flows_[slot];
+  if (f.rate == rate) return;  // unchanged — the queued ETA stays valid
+  commit_progress(f);
+  f.anchor_time = now_;
+  f.rate = rate;
+  ++f.epoch;  // invalidate any queued ETA computed under the old rate
+  push_eta(slot);
 }
 
 FlowId FlowSimulator::start_flow(std::vector<ResourceId> resources, Bytes bytes,
@@ -29,27 +83,46 @@ FlowId FlowSimulator::start_flow(std::vector<ResourceId> resources, Bytes bytes,
   for (ResourceId r : resources)
     OPASS_REQUIRE(r < resources_.size(), "flow references unknown resource");
 
-  Flow f;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    OPASS_CHECK(flows_.size() < 0xffffffffull, "flow slot space exhausted");
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  Flow& f = flows_[slot];
+  OPASS_CHECK(!f.active && f.resources.empty() && !f.on_complete,
+              "flow slot reused before being fully retired");
   f.resources = std::move(resources);
-  f.bytes_left = static_cast<double>(bytes);
+  f.bytes_anchor = static_cast<double>(bytes);
+  f.anchor_time = now_;
+  f.rate = 0;
   f.rate_cap = rate_cap;
   f.on_complete = std::move(on_complete);
+  f.seq = ++flow_seq_;
   f.active = true;
   for (ResourceId r : f.resources) {
     Resource& res = resources_[r];
     if (res.beta > 0 && res.active > 0) ++res.degraded_joins;
+    if (res.active == 0) res.busy_since = now_;
     ++res.active;
     res.peak_active = std::max(res.peak_active, res.active);
+    res.flows.push_back(slot);
+    mark_dirty(r);
   }
-  flows_.push_back(std::move(f));
   ++flows_active_;
-  rates_dirty_ = true;
-  return static_cast<FlowId>(flows_.size() - 1);
+  peak_active_flows_ =
+      std::max(peak_active_flows_, static_cast<std::uint32_t>(flows_active_));
+  if (f.bytes_anchor <= kByteEps) push_eta(slot);  // zero-byte: due immediately
+  return (static_cast<FlowId>(static_cast<std::uint32_t>(f.seq)) << 32) | slot;
 }
 
 void FlowSimulator::at(Seconds when, std::function<void(Seconds)> fn) {
   OPASS_REQUIRE(when >= now_ - kEps, "cannot schedule a timer in the past");
-  timers_.push({std::max(when, now_), timer_seq_++, std::move(fn)});
+  timers_.push_back({std::max(when, now_), timer_seq_++, std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<>{});
 }
 
 std::uint32_t FlowSimulator::resource_load(ResourceId r) const {
@@ -67,172 +140,334 @@ std::uint64_t FlowSimulator::resource_degraded_joins(ResourceId r) const {
   return resources_[r].degraded_joins;
 }
 
-void FlowSimulator::cancel_flow(FlowId id) {
-  OPASS_REQUIRE(id < flows_.size(), "flow id out of range");
-  Flow& f = flows_[id];
-  if (!f.active) return;
-  f.active = false;
-  f.bytes_left = 0;
-  f.on_complete = nullptr;
-  --flows_active_;
+/// Detach the flow from every resource it crosses (closing busy intervals and
+/// marking them for re-leveling), release its storage, and return the slot to
+/// the free list. The epoch bump turns any queued ETA entries stale.
+void FlowSimulator::retire_slot(std::uint32_t slot) {
+  Flow& f = flows_[slot];
   for (ResourceId r : f.resources) {
-    OPASS_CHECK(resources_[r].active > 0, "resource active count underflow");
-    --resources_[r].active;
+    Resource& res = resources_[r];
+    OPASS_CHECK(res.active > 0, "resource active count underflow");
+    --res.active;
+    if (res.active == 0) res.busy_time += now_ - res.busy_since;
+    auto it = std::find(res.flows.begin(), res.flows.end(), slot);
+    OPASS_CHECK(it != res.flows.end(), "flow missing from its resource index");
+    *it = res.flows.back();
+    res.flows.pop_back();
+    mark_dirty(r);
   }
-  rates_dirty_ = true;
+  f.active = false;
+  f.rate = 0;
+  f.bytes_anchor = 0;
+  f.on_complete = nullptr;
+  ++f.epoch;
+  std::vector<ResourceId>().swap(f.resources);  // release storage on retirement
+  --flows_active_;
+  free_slots_.push_back(slot);
+#if defined(OPASS_SANITIZE_BUILD)
+  audit_retired_slot(slot);
+#endif
+}
+
+/// Exhaustive slot-reuse invariants, run on every retirement under the
+/// sanitizer presets: the slot must be detached from every resource index,
+/// its per-flow storage released, and the free list duplicate-free. O(cluster)
+/// per retirement — far too slow for benchmarking, invaluable under ASan.
+void FlowSimulator::audit_retired_slot(std::uint32_t slot) const {
+  const Flow& f = flows_[slot];
+  OPASS_CHECK(!f.active && f.resources.capacity() == 0 && !f.on_complete,
+              "retired flow slot still holds state");
+  for (const Resource& res : resources_)
+    for (std::uint32_t s : res.flows)
+      OPASS_CHECK(s != slot, "retired flow slot still indexed by a resource");
+  std::size_t uses = 0;
+  for (std::uint32_t s : free_slots_)
+    if (s == slot) ++uses;
+  OPASS_CHECK(uses == 1, "flow slot free-list entry must be unique");
+}
+
+void FlowSimulator::cancel_flow(FlowId id) {
+  const std::uint32_t slot = slot_of(id);
+  OPASS_REQUIRE(slot < flows_.size(), "flow id out of range");
+  Flow& f = flows_[slot];
+  // A stale generation tag means the handle's flow already completed or was
+  // cancelled and the slot moved on — same no-op contract as before.
+  if (!f.active || static_cast<std::uint32_t>(f.seq) != tag_of(id)) return;
+  commit_progress(f);  // progress to date stays in bytes_served
+  retire_slot(slot);
 }
 
 bool FlowSimulator::flow_active(FlowId id) const {
-  OPASS_REQUIRE(id < flows_.size(), "flow id out of range");
-  return flows_[id].active;
+  const std::uint32_t slot = slot_of(id);
+  OPASS_REQUIRE(slot < flows_.size(), "flow id out of range");
+  const Flow& f = flows_[slot];
+  return f.active && static_cast<std::uint32_t>(f.seq) == tag_of(id);
 }
 
 void FlowSimulator::recompute_rates() {
-  // Effective capacities for this instant: disks degrade with total
-  // concurrency on them (head thrash), NICs (beta = 0) do not.
-  std::vector<double> remaining(resources_.size());
-  std::vector<std::uint32_t> unfixed_count(resources_.size(), 0);
-  for (std::size_t r = 0; r < resources_.size(); ++r) {
-    const auto& res = resources_[r];
+  ++rate_recomputes_;
+  ++visit_stamp_;
+  comp_resources_.clear();
+  comp_flows_.clear();
+
+  // Only the connected component(s) of resources whose flow membership
+  // changed can see different max-min allocations — everything else keeps
+  // its rates (max-min is component-decomposable, and untouched components
+  // see the exact same constraint structure as before). BFS the bipartite
+  // resource<->flow graph out from every dirty resource.
+  for (std::uint32_t r : dirty_resources_) {
+    Resource& res = resources_[r];
+    res.dirty = false;
+    if (res.visit == visit_stamp_) continue;
+    res.visit = visit_stamp_;
+    comp_resources_.push_back(r);
+  }
+  dirty_resources_.clear();
+  for (std::size_t i = 0; i < comp_resources_.size(); ++i) {
+    const Resource& res = resources_[comp_resources_[i]];
+    for (std::uint32_t slot : res.flows) {
+      Flow& f = flows_[slot];
+      if (f.visit == visit_stamp_) continue;
+      f.visit = visit_stamp_;
+      comp_flows_.push_back(slot);
+      for (ResourceId r2 : f.resources) {
+        Resource& res2 = resources_[r2];
+        if (res2.visit == visit_stamp_) continue;
+        res2.visit = visit_stamp_;
+        comp_resources_.push_back(r2);
+      }
+    }
+  }
+  rate_recompute_touched_ += comp_flows_.size();
+  max_relevel_component_ =
+      std::max(max_relevel_component_, static_cast<std::uint32_t>(comp_flows_.size()));
+  if (comp_flows_.empty()) return;  // e.g. the last flow on a disk retired
+
+  // Water-filling with per-flow caps, restricted to the touched component:
+  // rates rise together until the first constraint binds. Each round, the
+  // binding level is the minimum over (a) each active resource's fair share
+  // and (b) each unfixed flow's own rate cap; all flows pinned by the binding
+  // constraint freeze at that level and release the rest of their resources'
+  // capacity.
+  //
+  // Both minima come from lazily invalidated min-heaps instead of per-round
+  // scans, making a full re-level O(incidences * log) instead of
+  // O(rounds * component). This is value-exact: a queued share is recomputed
+  // (and its old entry epoch-invalidated) whenever its resource's
+  // remaining/unfixed change, so a surviving entry always equals the share a
+  // fresh scan would compute; ties break on ascending resource id, matching
+  // the reference scan's strict-< argmin.
+  share_heap_.clear();
+  cap_heap_.clear();
+  for (std::uint32_t r : comp_resources_) {
+    Resource& res = resources_[r];
+    // Effective capacity for this instant: disks degrade with total
+    // concurrency on them (head thrash), NICs (beta = 0) do not.
     const double k = static_cast<double>(res.active);
-    remaining[r] = res.active == 0
-                       ? res.capacity
-                       : res.capacity / (1.0 + res.beta * (k - 1.0));
+    res.remaining = res.active == 0
+                        ? res.capacity
+                        : res.capacity / (1.0 + res.beta * (k - 1.0));
+    res.unfixed = 0;
   }
-
-  std::vector<std::size_t> unfixed;
-  unfixed.reserve(flows_active_);
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    if (!flows_[i].active) continue;
-    unfixed.push_back(i);
-    for (ResourceId r : flows_[i].resources) ++unfixed_count[r];
+  for (std::uint32_t slot : comp_flows_) {
+    Flow& f = flows_[slot];
+    for (ResourceId r : f.resources) ++resources_[r].unfixed;
+    if (f.rate_cap > 0) cap_heap_.push_back({f.rate_cap, f.seq, slot});
   }
+  std::make_heap(cap_heap_.begin(), cap_heap_.end(), std::greater<>{});
+  for (std::uint32_t r : comp_resources_) {
+    const Resource& res = resources_[r];
+    if (res.unfixed == 0) continue;  // a dirty seed whose last flow retired
+    share_heap_.push_back(
+        {res.remaining / static_cast<double>(res.unfixed), r, res.wf_epoch});
+  }
+  std::make_heap(share_heap_.begin(), share_heap_.end(), std::greater<>{});
 
-  // Water-filling with per-flow caps: rates rise together until the first
-  // constraint binds. Each round, the binding level is the minimum over
-  // (a) each active resource's fair share and (b) each unfixed flow's own
-  // rate cap; all flows pinned by the binding constraint freeze at that
-  // level and release the rest of their resources' capacity.
-  while (!unfixed.empty()) {
-    double best_share = kInf;
-    bool cap_binds = false;
+  std::size_t flows_left = comp_flows_.size();
+  while (flows_left > 0) {
+    // Current bottleneck resource (lowest fair share, then lowest id).
+    double res_share = kInf;
     ResourceId best_r = 0;
-    for (ResourceId r = 0; r < resources_.size(); ++r) {
-      if (unfixed_count[r] == 0) continue;
-      const double share = remaining[r] / static_cast<double>(unfixed_count[r]);
-      if (share < best_share) {
-        best_share = share;
-        best_r = r;
-        cap_binds = false;
-      }
-    }
-    for (std::size_t fi : unfixed) {
-      const double cap = flows_[fi].rate_cap;
-      if (cap > 0 && cap < best_share) {
-        best_share = cap;
-        cap_binds = true;
-      }
-    }
-    OPASS_CHECK(best_share < kInf, "max-min allocation found no bottleneck");
-
-    std::vector<std::size_t> still_unfixed;
-    still_unfixed.reserve(unfixed.size());
-    for (std::size_t fi : unfixed) {
-      Flow& f = flows_[fi];
-      const bool pinned =
-          cap_binds ? (f.rate_cap > 0 && f.rate_cap <= best_share)
-                    : std::find(f.resources.begin(), f.resources.end(), best_r) !=
-                          f.resources.end();
-      if (!pinned) {
-        still_unfixed.push_back(fi);
+    while (!share_heap_.empty()) {
+      const ShareEntry& top = share_heap_.front();
+      const Resource& res = resources_[top.r];
+      if (top.epoch != res.wf_epoch || res.unfixed == 0) {
+        std::pop_heap(share_heap_.begin(), share_heap_.end(), std::greater<>{});
+        share_heap_.pop_back();
         continue;
       }
-      f.rate = best_share;
-      for (ResourceId r : f.resources) {
-        remaining[r] = std::max(0.0, remaining[r] - best_share);
-        --unfixed_count[r];
+      res_share = top.share;
+      best_r = top.r;
+      break;
+    }
+    // Tightest per-flow cap still unfixed.
+    double cap_min = kInf;
+    while (!cap_heap_.empty()) {
+      const CapEntry& top = cap_heap_.front();
+      if (flows_[top.slot].fixed == visit_stamp_) {
+        std::pop_heap(cap_heap_.begin(), cap_heap_.end(), std::greater<>{});
+        cap_heap_.pop_back();
+        continue;
+      }
+      cap_min = top.cap;
+      break;
+    }
+
+    const bool cap_binds = cap_min < res_share;
+    const double best_share = cap_binds ? cap_min : res_share;
+    OPASS_CHECK(best_share < kInf, "max-min allocation found no bottleneck");
+
+    const std::size_t before = flows_left;
+    if (cap_binds) {
+      // Freeze every unfixed capped flow at or below the binding level.
+      while (!cap_heap_.empty()) {
+        const CapEntry top = cap_heap_.front();
+        if (flows_[top.slot].fixed != visit_stamp_ && top.cap > best_share) break;
+        std::pop_heap(cap_heap_.begin(), cap_heap_.end(), std::greater<>{});
+        cap_heap_.pop_back();
+        if (flows_[top.slot].fixed == visit_stamp_) continue;
+        pin_flow(top.slot, best_share);
+        --flows_left;
+      }
+    } else {
+      // Freeze every unfixed flow crossing the bottleneck resource.
+      for (std::uint32_t slot : resources_[best_r].flows) {
+        if (flows_[slot].fixed == visit_stamp_) continue;
+        pin_flow(slot, best_share);
+        --flows_left;
       }
     }
-    OPASS_CHECK(still_unfixed.size() < unfixed.size(), "water-filling made no progress");
-    unfixed.swap(still_unfixed);
+    OPASS_CHECK(flows_left < before, "water-filling made no progress");
   }
-  rates_dirty_ = false;
+}
+
+/// Freeze a flow's rate at the binding share and release the headroom on
+/// every resource it crosses, re-queuing their updated fair shares.
+void FlowSimulator::pin_flow(std::uint32_t slot, double share) {
+  Flow& f = flows_[slot];
+  f.fixed = visit_stamp_;
+  set_rate(slot, share);
+  for (ResourceId r : f.resources) {
+    Resource& res = resources_[r];
+    res.remaining = std::max(0.0, res.remaining - share);
+    --res.unfixed;
+    ++res.wf_epoch;
+    if (res.unfixed > 0) {
+      share_heap_.push_back(
+          {res.remaining / static_cast<double>(res.unfixed), r, res.wf_epoch});
+      std::push_heap(share_heap_.begin(), share_heap_.end(), std::greater<>{});
+    }
+  }
 }
 
 void FlowSimulator::advance_to(Seconds t) {
-  const double dt = t - now_;
-  OPASS_CHECK(dt >= -kEps, "time must not move backwards");
-  if (dt > 0) {
-    for (auto& f : flows_) {
-      if (!f.active) continue;
-      const double moved = f.rate * dt;
-      f.bytes_left -= moved;
-      if (f.bytes_left < kByteEps) f.bytes_left = 0;
-      for (ResourceId r : f.resources) resources_[r].bytes_served += moved;
-    }
-    for (auto& res : resources_) {
-      if (res.active > 0) res.busy_time += dt;
-    }
-  }
+  OPASS_CHECK(t - now_ >= -kEps, "time must not move backwards");
   now_ = std::max(now_, t);
 }
 
 Seconds FlowSimulator::resource_busy_time(ResourceId r) const {
   OPASS_REQUIRE(r < resources_.size(), "resource out of range");
-  return resources_[r].busy_time;
+  const Resource& res = resources_[r];
+  // Closed intervals plus the still-open one, if the resource is busy now.
+  return res.active > 0 ? res.busy_time + (now_ - res.busy_since) : res.busy_time;
 }
 
 double FlowSimulator::resource_bytes_served(ResourceId r) const {
   OPASS_REQUIRE(r < resources_.size(), "resource out of range");
-  return resources_[r].bytes_served;
+  const Resource& res = resources_[r];
+  // Committed totals plus each crossing flow's uncommitted open interval.
+  double total = res.bytes_served;
+  for (std::uint32_t slot : res.flows) {
+    const Flow& f = flows_[slot];
+    if (f.rate > 0 && now_ > f.anchor_time) total += f.rate * (now_ - f.anchor_time);
+  }
+  return total;
 }
 
 double FlowSimulator::resource_utilization(ResourceId r) const {
   OPASS_REQUIRE(r < resources_.size(), "resource out of range");
-  return now_ > 0 ? resources_[r].busy_time / now_ : 0.0;
+  return now_ > 0 ? resource_busy_time(r) / now_ : 0.0;
+}
+
+/// Earliest still-valid queued ETA; discards stale entries on the way.
+double FlowSimulator::next_completion_time() {
+  while (!etas_.empty()) {
+    const Eta& top = etas_.front();
+    const Flow& f = flows_[top.slot];
+    if (f.active && f.epoch == top.epoch) return top.when;
+    std::pop_heap(etas_.begin(), etas_.end(), std::greater<>{});
+    etas_.pop_back();
+    ++eta_stale_pops_;
+  }
+  return kInf;
 }
 
 Seconds FlowSimulator::run() {
   for (;;) {
-    if (rates_dirty_) recompute_rates();
+    if (!dirty_resources_.empty()) recompute_rates();
 
-    // Earliest flow completion under current rates.
-    double next_completion = kInf;
-    for (const auto& f : flows_) {
-      if (!f.active) continue;
-      const double eta = f.rate > 0 ? now_ + f.bytes_left / f.rate : kInf;
-      next_completion = std::min(next_completion, eta);
-      if (f.bytes_left <= kByteEps) next_completion = now_;  // done already
-    }
-    const double next_timer = timers_.empty() ? kInf : timers_.top().when;
-
+    const double next_completion = next_completion_time();
+    const double next_timer = timers_.empty() ? kInf : timers_.front().when;
     const double t = std::min(next_completion, next_timer);
-    if (t == kInf) break;  // idle: no flows, no timers
+    if (t == kInf) break;  // idle: no runnable flows, no timers
     advance_to(t);
 
     // Fire all timers due at (or before, FP-wise) the new now.
-    while (!timers_.empty() && timers_.top().when <= now_ + kEps) {
-      auto fn = timers_.top().fn;
-      timers_.pop();
-      fn(now_);
+    while (!timers_.empty() && timers_.front().when <= now_ + kEps) {
+      std::pop_heap(timers_.begin(), timers_.end(), std::greater<>{});
+      Timer timer = std::move(timers_.back());
+      timers_.pop_back();
+      timer.fn(now_);
     }
 
-    // Complete all finished flows. Completion callbacks commonly start the
-    // process's next read, so collect first, then fire.
-    std::vector<std::function<void(Seconds)>> callbacks;
-    for (auto& f : flows_) {
-      if (!f.active || f.bytes_left > kByteEps) continue;
-      f.active = false;
-      f.bytes_left = 0;
-      --flows_active_;
-      for (ResourceId r : f.resources) {
-        OPASS_CHECK(resources_[r].active > 0, "resource active count underflow");
-        --resources_[r].active;
+    // Collect finished flows. The heap is a hint, not an authority: each due
+    // entry is re-checked against the flow's exact remaining bytes, and
+    // not-quite-done flows (their ETA was a hair optimistic, or a timer event
+    // landed just before it) are re-queued with a fresh estimate. Requeues
+    // are staged so each entry is examined at most once per event.
+    completed_.clear();
+    requeued_.clear();
+    while (!etas_.empty()) {
+      const Eta top = etas_.front();
+      const Flow& f = flows_[top.slot];
+      if (!f.active || f.epoch != top.epoch) {
+        std::pop_heap(etas_.begin(), etas_.end(), std::greater<>{});
+        etas_.pop_back();
+        ++eta_stale_pops_;
+        continue;
       }
-      rates_dirty_ = true;
-      if (f.on_complete) callbacks.push_back(std::move(f.on_complete));
+      if (top.when > now_ + kEps) break;
+      std::pop_heap(etas_.begin(), etas_.end(), std::greater<>{});
+      etas_.pop_back();
+      const double left = bytes_left_at(f, now_);
+      if (left <= kByteEps) {
+        completed_.push_back(top.slot);
+      } else {
+        OPASS_CHECK(f.rate > 0, "completion queued for a stalled flow");
+        requeued_.push_back({now_ + left / f.rate, f.seq, top.slot, top.epoch});
+      }
     }
-    for (auto& cb : callbacks) cb(now_);
+    for (const Eta& e : requeued_) {
+      etas_.push_back(e);
+      std::push_heap(etas_.begin(), etas_.end(), std::greater<>{});
+    }
+
+    // Retire completions in creation order (matching the reference engine's
+    // flow-index scan), then fire callbacks — they commonly start the
+    // process's next read, so collect first.
+    std::sort(completed_.begin(), completed_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return flows_[a].seq < flows_[b].seq; });
+    callbacks_.clear();
+    for (std::uint32_t slot : completed_) {
+      Flow& f = flows_[slot];
+      // Commit the whole remainder since the anchor: every byte of the flow
+      // lands in bytes_served exactly once (telescoping, no per-event drift).
+      if (f.bytes_anchor > 0)
+        for (ResourceId r : f.resources) resources_[r].bytes_served += f.bytes_anchor;
+      if (f.on_complete) callbacks_.push_back(std::move(f.on_complete));
+      retire_slot(slot);
+    }
+    for (auto& cb : callbacks_) cb(now_);
   }
   return now_;
 }

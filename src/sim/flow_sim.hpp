@@ -11,11 +11,22 @@
 //
 // Disk resources additionally degrade under concurrency (head thrash): with k
 // active flows, effective capacity = base / (1 + beta * (k - 1)).
+//
+// Scalability design (see DESIGN.md "Simulator scalability"): per-event cost
+// depends on the *active* flow set, never on the total number of flows ever
+// started. Retired flows return their slot to a free list (FlowIds carry a
+// generation tag so stale handles stay inert); completions come from a lazily
+// invalidated earliest-ETA heap (entries are epoch-stamped and re-validated
+// against exact remaining bytes when popped); and rate recomputation
+// re-levels only the connected component of resources a joining/leaving flow
+// touches, using reusable workspace buffers. Byte and busy-time accounting is
+// anchor-based: progress is committed when a flow's rate changes or the flow
+// ends, and read-side accessors materialize the open interval, so advancing
+// time is O(1) instead of O(active flows).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/require.hpp"
@@ -24,6 +35,9 @@
 namespace opass::sim {
 
 using ResourceId = std::uint32_t;
+
+/// Opaque flow handle: low 32 bits address a reusable flow slot, high 32 bits
+/// carry the creation tag that makes handles to retired flows inert.
 using FlowId = std::uint64_t;
 
 /// Max-min fair flow-level simulator.
@@ -88,24 +102,63 @@ class FlowSimulator {
   /// Busy fraction over [0, now]; 0 when no time has elapsed.
   double resource_utilization(ResourceId r) const;
 
+  // --- scalability observability -------------------------------------------
+
+  /// Flow slots ever allocated. Slots are reused from a free list before the
+  /// pool grows, so this equals the peak number of simultaneously live flows,
+  /// not the total number of flows started.
+  std::uint32_t flow_slot_count() const { return static_cast<std::uint32_t>(flows_.size()); }
+
+  /// Highest number of flows simultaneously active over the run so far.
+  std::uint32_t peak_active_flows() const { return peak_active_flows_; }
+
+  /// Number of incremental rate recomputations performed.
+  std::uint64_t rate_recomputes() const { return rate_recomputes_; }
+
+  /// Cumulative flows re-leveled across all rate recomputations; divide by
+  /// `rate_recomputes()` for the mean touched-component size.
+  std::uint64_t rate_recompute_touched_flows() const { return rate_recompute_touched_; }
+
+  /// Largest connected component (in flows) any single recomputation touched.
+  std::uint32_t max_relevel_component() const { return max_relevel_component_; }
+
+  /// ETA-heap entries discarded because their flow's rate changed (or the
+  /// flow retired) after they were queued — the cost of lazy invalidation.
+  std::uint64_t eta_stale_pops() const { return eta_stale_pops_; }
+
  private:
   struct Resource {
-    BytesPerSec capacity;
-    double beta;
+    BytesPerSec capacity = 0;
+    double beta = 0;
     std::uint32_t active = 0;      // flows currently crossing this resource
     std::uint32_t peak_active = 0; // max concurrent flows seen so far
     std::uint64_t degraded_joins = 0;  // arrivals into an occupied beta>0 disk
-    double busy_time = 0;          // accumulated time with active > 0
-    double bytes_served = 0;       // accumulated throughput
+    double busy_time = 0;          // closed busy intervals (active > 0 spans)
+    Seconds busy_since = 0;        // open-interval start, valid while active > 0
+    double bytes_served = 0;       // committed throughput (anchored progress)
+    std::vector<std::uint32_t> flows;  // slots of flows crossing this resource
+    bool dirty = false;            // membership changed since last re-level
+    std::uint64_t visit = 0;       // component-BFS stamp
+    // Water-filling scratch, valid only inside recompute_rates(). wf_epoch
+    // stamps share-heap entries: any entry pushed before the last
+    // remaining/unfixed change is stale.
+    double remaining = 0;
+    std::uint32_t unfixed = 0;
+    std::uint32_t wf_epoch = 0;
   };
 
   struct Flow {
     std::vector<ResourceId> resources;
-    double bytes_left;
+    double bytes_anchor = 0;   // bytes left as of anchor_time
+    Seconds anchor_time = 0;   // last rate change (progress committed up to here)
     double rate = 0;
-    double rate_cap = 0;  // 0 = uncapped
+    double rate_cap = 0;       // 0 = uncapped
     std::function<void(Seconds)> on_complete;
+    std::uint64_t seq = 0;     // creation sequence; low 32 bits tag the FlowId
+    std::uint32_t epoch = 0;   // bumped on rate change/retire; stamps ETA entries
     bool active = false;
+    std::uint64_t visit = 0;   // component-BFS stamp
+    std::uint64_t fixed = 0;   // == visit stamp once pinned in this re-level
   };
 
   struct Timer {
@@ -117,16 +170,80 @@ class FlowSimulator {
     }
   };
 
+  /// Queued completion estimate. Stale once the flow's epoch moves past the
+  /// stamped one; re-validated against exact remaining bytes when popped.
+  struct Eta {
+    Seconds when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t epoch;
+    bool operator>(const Eta& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  /// Share-heap entry for water-filling: a resource's fair share at the time
+  /// of the push; stale once the resource's wf_epoch moved on.
+  struct ShareEntry {
+    double share;
+    ResourceId r;
+    std::uint32_t epoch;
+    bool operator>(const ShareEntry& o) const {
+      return share != o.share ? share > o.share : r > o.r;
+    }
+  };
+
+  /// Cap-heap entry: an unfixed capped flow, stale once the flow is pinned.
+  struct CapEntry {
+    double cap;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const CapEntry& o) const {
+      return cap != o.cap ? cap > o.cap : seq > o.seq;
+    }
+  };
+
+  static std::uint32_t slot_of(FlowId id) { return static_cast<std::uint32_t>(id); }
+  static std::uint32_t tag_of(FlowId id) { return static_cast<std::uint32_t>(id >> 32); }
+
+  double bytes_left_at(const Flow& f, Seconds t) const;
+  void mark_dirty(ResourceId r);
+  void push_eta(std::uint32_t slot);
+  void commit_progress(Flow& f);
+  void set_rate(std::uint32_t slot, double rate);
+  void pin_flow(std::uint32_t slot, double share);
+  void retire_slot(std::uint32_t slot);
+  double next_completion_time();
   void recompute_rates();
   void advance_to(Seconds t);
+  void audit_retired_slot(std::uint32_t slot) const;
 
   std::vector<Resource> resources_;
-  std::vector<Flow> flows_;
+  std::vector<Flow> flows_;                  // slot pool; retired slots are reused
+  std::vector<std::uint32_t> free_slots_;
   std::size_t flows_active_ = 0;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint32_t peak_active_flows_ = 0;
+  std::vector<Timer> timers_;                // min-heap via std::push_heap/pop_heap
+  std::vector<Eta> etas_;                    // min-heap, lazily invalidated
   Seconds now_ = 0;
   std::uint64_t timer_seq_ = 0;
-  bool rates_dirty_ = false;
+  std::uint64_t flow_seq_ = 0;
+  std::uint64_t visit_stamp_ = 0;
+  std::vector<std::uint32_t> dirty_resources_;
+
+  // Reusable workspaces (steady-state allocation-free, cf. graph::FlowWorkspace).
+  std::vector<std::uint32_t> comp_resources_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<ShareEntry> share_heap_;
+  std::vector<CapEntry> cap_heap_;
+  std::vector<Eta> requeued_;
+  std::vector<std::uint32_t> completed_;
+  std::vector<std::function<void(Seconds)>> callbacks_;
+
+  std::uint64_t rate_recomputes_ = 0;
+  std::uint64_t rate_recompute_touched_ = 0;
+  std::uint32_t max_relevel_component_ = 0;
+  std::uint64_t eta_stale_pops_ = 0;
 };
 
 }  // namespace opass::sim

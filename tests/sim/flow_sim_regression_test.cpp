@@ -1,0 +1,206 @@
+// Golden-determinism suite for the flow-level simulator.
+//
+// Pins the observable outputs of four seed scenarios — makespan, the full
+// read trace (every record, in completion order), and the per-resource
+// busy-time / bytes-served / peak-load / degraded-join tallies — as digest
+// strings captured from the reference implementation. Any engine change that
+// alters event ordering, completion sets, max-min rates, or accounting shows
+// up as a digest mismatch; pure mechanical speedups (the active-flow index,
+// the ETA heap, incremental re-leveling) must keep every digest stable.
+//
+// Continuous values are serialized at 6 significant digits: tight enough
+// that any behavioral change (different rates, different event times) is
+// caught, loose enough that sub-nanosecond floating-point reassociation in
+// an equivalent engine does not flake the suite. Discrete values (record
+// fields, counts, peaks) are pinned exactly.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "opass/opass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/task_source.hpp"
+#include "workload/dataset.hpp"
+
+namespace opass {
+namespace {
+
+std::string fmt6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// FNV-1a 64-bit over a byte string.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+/// Serialize every trace record (completion order) and hash the bytes.
+std::string trace_digest(const sim::TraceRecorder& trace) {
+  std::string all;
+  all.reserve(trace.size() * 64);
+  for (const sim::ReadRecord& r : trace.records()) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%u|%u|%u|%u|%" PRIu64 "|%s|%s|%d\n", r.process,
+                  r.reader_node, r.serving_node, r.chunk,
+                  static_cast<std::uint64_t>(r.bytes), fmt6(r.issue_time).c_str(),
+                  fmt6(r.end_time).c_str(), r.local ? 1 : 0);
+    all += buf;
+  }
+  return hex64(fnv1a(all));
+}
+
+/// Serialize every simulator resource's cumulative accounting and hash it.
+std::string resource_digest(const sim::FlowSimulator& sim) {
+  std::string all;
+  for (sim::ResourceId r = 0; r < sim.resource_count(); ++r) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%u|%s|%s|%u|%" PRIu64 "\n", r,
+                  fmt6(sim.resource_busy_time(r)).c_str(),
+                  fmt6(sim.resource_bytes_served(r)).c_str(), sim.resource_peak_load(r),
+                  sim.resource_degraded_joins(r));
+    all += buf;
+  }
+  return hex64(fnv1a(all));
+}
+
+std::string digest(const runtime::ExecutionResult& exec, const sim::Cluster& cluster) {
+  std::string d;
+  d += "makespan=" + fmt6(exec.makespan);
+  d += " reads=" + std::to_string(exec.trace.size());
+  d += " local=" + fmt6(exec.trace.local_fraction());
+  d += " failures=" + std::to_string(exec.read_failures);
+  d += " trace=" + trace_digest(exec.trace);
+  d += " resources=" + resource_digest(cluster.simulator());
+  return d;
+}
+
+/// Static Opass plan replayed one-process-per-node — the perf_executor
+/// scenario shape (100% local, one flow per disk at a time).
+std::string run_static_local(std::uint32_t nodes, std::uint32_t tasks_n,
+                             std::uint64_t seed) {
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3);
+  dfs::RandomPlacement policy;
+  Rng layout_rng(seed);
+  const auto tasks = workload::make_single_data_workload(nn, tasks_n, policy, layout_rng);
+  const auto placement = core::one_process_per_node(nn);
+  Rng assign_rng(seed * 7919 + 1);
+  const auto plan = core::plan({&nn, &tasks, &placement, &assign_rng});
+
+  sim::Cluster cluster(nodes, {});
+  runtime::StaticAssignmentSource source(plan.assignment);
+  runtime::ExecutorConfig ec;
+  ec.process_count = static_cast<std::uint32_t>(placement.size());
+  Rng exec_rng(seed * 7919 + 2);
+  const auto exec = runtime::execute(cluster, nn, tasks, source, exec_rng, ec);
+  return digest(exec, cluster);
+}
+
+/// Master–worker queue with random replica choice: mostly-remote reads, NIC
+/// flows, cross-node components, the remote-stream cap — plus a mid-run node
+/// failure exercising cancel + retry determinism.
+std::string run_random_remote_with_failure(std::uint32_t nodes, std::uint32_t tasks_n,
+                                           std::uint64_t seed) {
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3);
+  dfs::RandomPlacement policy;
+  Rng layout_rng(seed);
+  const auto tasks = workload::make_single_data_workload(nn, tasks_n, policy, layout_rng);
+
+  sim::Cluster cluster(nodes, {});
+  cluster.fail_node(nodes - 1, 2.0);
+  Rng src_rng(seed + 17);
+  runtime::MasterWorkerSource source(tasks_n, src_rng);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = dfs::ReplicaChoice::kRandom;
+  Rng exec_rng(seed * 7919 + 2);
+  const auto exec = runtime::execute(cluster, nn, tasks, source, exec_rng, ec);
+  return digest(exec, cluster);
+}
+
+/// Rack topology with shared uplinks, DataNode admission control, and BSP
+/// barriers: wide multi-resource flows, admission FIFOs, barrier timers.
+std::string run_rack_bsp_admission(std::uint32_t nodes, std::uint32_t tasks_n,
+                                   std::uint64_t seed) {
+  dfs::NameNode nn(dfs::Topology::uniform_racks(nodes, 3), 3);
+  dfs::RandomPlacement policy;
+  Rng layout_rng(seed);
+  const auto tasks = workload::make_single_data_workload(nn, tasks_n, policy, layout_rng);
+
+  sim::ClusterParams params;
+  params.rack_uplink_bandwidth = 200.0 * 1024 * 1024;
+  params.max_concurrent_serves = 2;
+  sim::Cluster cluster(dfs::Topology::uniform_racks(nodes, 3), params);
+  Rng src_rng(seed + 29);
+  runtime::MasterWorkerSource source(tasks_n, src_rng);
+  runtime::ExecutorConfig ec;
+  ec.replica_choice = dfs::ReplicaChoice::kLeastLoaded;
+  ec.barrier_per_task = true;
+  Rng exec_rng(seed * 7919 + 2);
+  const auto exec = runtime::execute(cluster, nn, tasks, source, exec_rng, ec);
+  return digest(exec, cluster);
+}
+
+/// Delay scheduling: kWait retry timers advance virtual time while unrelated
+/// flows are mid-transfer — the pure-timer event window the lazy-ETA engine
+/// must traverse without perturbing rates.
+std::string run_delay_scheduling(std::uint32_t nodes, std::uint32_t tasks_n,
+                                 std::uint64_t seed) {
+  dfs::NameNode nn(dfs::Topology::single_rack(nodes), 3);
+  dfs::RandomPlacement policy;
+  Rng layout_rng(seed);
+  const auto tasks = workload::make_single_data_workload(nn, tasks_n, policy, layout_rng);
+  const auto placement = core::one_process_per_node(nn);
+
+  sim::Cluster cluster(nodes, {});
+  Rng src_rng(seed + 41);
+  runtime::DelaySchedulingSource source(nn, tasks, placement, src_rng,
+                                        /*max_delay=*/0.2);
+  runtime::ExecutorConfig ec;
+  ec.process_count = static_cast<std::uint32_t>(placement.size());
+  Rng exec_rng(seed * 7919 + 2);
+  const auto exec = runtime::execute(cluster, nn, tasks, source, exec_rng, ec);
+  return digest(exec, cluster);
+}
+
+// Expected digests were captured from the pre-rewrite reference engine
+// (PR 3 tree) and must never change without a deliberate model change.
+TEST(FlowSimGolden, StaticLocalReplay) {
+  EXPECT_EQ(run_static_local(64, 640, 42),
+            "makespan=9.03333 reads=640 local=1 failures=0 "
+            "trace=c9ca5b2e480c06d3 resources=72c837910e723e45");
+}
+
+TEST(FlowSimGolden, RandomRemoteWithFailure) {
+  EXPECT_EQ(run_random_remote_with_failure(32, 320, 7),
+            "makespan=36.1221 reads=320 local=0.075 failures=1 "
+            "trace=8f4bb9af1fad1705 resources=005b636d76f03d46");
+}
+
+TEST(FlowSimGolden, RackBspAdmission) {
+  EXPECT_EQ(run_rack_bsp_admission(24, 192, 11),
+            "makespan=19.353 reads=192 local=0.130208 failures=0 "
+            "trace=1d4407339d487bc0 resources=6f5264e41fe8ce40");
+}
+
+TEST(FlowSimGolden, DelayScheduling) {
+  EXPECT_EQ(run_delay_scheduling(16, 96, 5),
+            "makespan=6.952 reads=96 local=0.979167 failures=0 "
+            "trace=c536741214361be4 resources=29828fed82811f53");
+}
+
+}  // namespace
+}  // namespace opass

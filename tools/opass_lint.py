@@ -28,6 +28,13 @@ Rules (all scoped to src/ unless noted):
   nodiscard-status  src/obs/ headers only: every `struct FooStatus` must be
                     declared `struct [[nodiscard]] Foo...` — an ignored
                     exporter status silently swallows an I/O failure.
+  pq-top-copy       No by-value initialization from `.top()`:
+                    `auto fn = q.top();` (or a `std::function<...>` copy of
+                    `.top().fn`) deep-copies the element — and since
+                    priority_queue::top() returns a *const* reference,
+                    std::move cannot rescue it either. Bind a const reference,
+                    or use a vector heap (std::pop_heap + move from the back)
+                    as the event loops in src/sim do.
 
 Usage:
   opass_lint.py <repo-root>     lint the tree rooted there (exit 1 on findings)
@@ -99,6 +106,14 @@ PLAIN_PLAN_STRUCT = re.compile(r"\bstruct\s+(\w+(?:Plan|Result))\b")
 # Same mechanics for exporter status types in src/obs/: `struct FooStatus`
 # matches, `struct [[nodiscard]] FooStatus` does not.
 PLAIN_STATUS_STRUCT = re.compile(r"\bstruct\s+(\w+Status)\b")
+# A by-value declaration initialized from `.top()`: `auto fn = q.top();`,
+# `std::function<void()> fn = q.top().fn;`. Reference bindings don't match —
+# `auto` / `std::function<...>` must be directly followed by the identifier,
+# so `const auto& fn = ...` and `auto& fn = ...` stay clean. `.top()` anywhere
+# on the right-hand side triggers, including inside std::move(...), because
+# priority_queue::top() returns a const reference and the "move" still copies.
+PQ_TOP_COPY = re.compile(
+    r"\b(?:auto|std::function\s*<[^;{}=]*>)\s+\w+\s*=\s*[^;{}\n]*\.top\s*\(\s*\)")
 
 
 class Finding:
@@ -187,6 +202,15 @@ def check_nodiscard_plan(path: pathlib.Path, src_root: pathlib.Path, text: str, 
                     "types must not be silently dropped"))
 
 
+def check_pq_top_copy(path: pathlib.Path, text: str, findings: list):
+    for m in PQ_TOP_COPY.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "pq-top-copy",
+                    "by-value init from .top() deep-copies the element (top() "
+                    "returns a const reference, so std::move cannot help); bind "
+                    "a const reference or pop_heap and move from the back"))
+
+
 def check_nodiscard_status(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
     if path.suffix != ".hpp" or "obs" not in path.relative_to(src_root).parts[:1]:
         return
@@ -216,6 +240,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_options_last(path, src_root, text, findings)
         check_nodiscard_plan(path, src_root, text, findings)
         check_nodiscard_status(path, src_root, text, findings)
+        check_pq_top_copy(path, text, findings)
     return findings
 
 
@@ -240,6 +265,12 @@ _VIOLATIONS = {
     "nodiscard-status": (
         "obs/bad_status.hpp",
         "#pragma once\nstruct BadStatus { bool ok = true; };\n",
+    ),
+    "pq-top-copy": (
+        "bad_top_copy.cpp",
+        "#include <functional>\n#include <queue>\n"
+        "void f(std::priority_queue<std::function<void()>>& q) {\n"
+        "  auto fn = q.top();\n  q.pop();\n  fn();\n}\n",
     ),
 }
 
@@ -267,6 +298,17 @@ _CLEANS = (
         "#pragma once\n"
         "struct [[nodiscard]] GoodStatus { bool ok = true; };\n"
         "GoodStatus write_something(int x);\n",
+    ),
+    (
+        # Reference bindings from .top() are the compliant spelling pq-top-copy
+        # must NOT flag; copying a cheap scalar after the reference is fine too.
+        "clean_top_ref.cpp",
+        "#include <queue>\n"
+        "int peek(std::priority_queue<int>& q) {\n"
+        "  const auto& t = q.top();\n"
+        "  int copy = t;\n"
+        "  return copy;\n"
+        "}\n",
     ),
 )
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/analytics.hpp"
 #include "obs/collect.hpp"
 #include "opass/opass.hpp"
 #include "runtime/executor.hpp"
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
     Seconds makespan = 0;
     double local_pct = 0;
     obs::MetricsRegistry reg;
+    obs::ExecutionAnalytics analytics;
     for (std::uint32_t rep = 0; rep < sc.repeats; ++rep) {
       sim::Cluster cluster(sc.nodes, {});
       runtime::StaticAssignmentSource source(plan.assignment);
@@ -112,12 +114,14 @@ int main(int argc, char** argv) {
       if (rep == 0) {  // deterministic replay: every repeat collects the same
         obs::collect_execution(reg, exec, sc.nodes, "executor");
         obs::collect_cluster(reg, cluster, "cluster");
+        analytics = obs::analyze_execution(exec, sc.nodes);
       }
     }
 
-    // Embedded observability metrics (diffed informationally by
-    // tools/bench_compare.py): read totals from the collectors, plus the
-    // hottest disk's convoy depth and thrash events across the cluster.
+    // Embedded observability metrics (diffed by tools/bench_compare.py; the
+    // CI smoke job gates on degree_of_imbalance): read totals from the
+    // collectors, the hottest disk's convoy depth and thrash events across
+    // the cluster, and the serve-bytes imbalance analytics from rep 0.
     const std::uint64_t reads_total = reg.at("executor.reads_total").counter;
     const std::uint64_t reads_local = reg.at("executor.reads_local").counter;
     const std::uint64_t bytes_local = reg.at("executor.bytes_local").counter;
@@ -148,7 +152,10 @@ int main(int argc, char** argv) {
                  "\"bytes_local_mib\": %.2f, \"read_failures\": %llu, "
                  "\"disk_peak_load_max\": %.0f, \"disk_degraded_joins\": %llu, "
                  "\"flow_slots\": %.0f, \"rate_recomputes\": %llu, "
-                 "\"relevel_touched_flows\": %llu}}",
+                 "\"relevel_touched_flows\": %llu,\n"
+                 "     \"degree_of_imbalance\": %.4f, \"serve_cv\": %.4f, "
+                 "\"serve_gini\": %.4f, \"serve_peak_over_mean\": %.4f, "
+                 "\"straggler_nodes\": %zu, \"straggler_processes\": %zu}}",
                  sc.name, sc.nodes, sc.tasks, sc.replication,
                  static_cast<unsigned long long>(sc.seed), sc.repeats, wall_ms_min,
                  total_ms / sc.repeats, makespan, local_pct, peak_rss_kb(),
@@ -157,7 +164,10 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(read_failures), disk_peak_load_max,
                  static_cast<unsigned long long>(degraded_joins), flow_slots,
                  static_cast<unsigned long long>(rate_recomputes),
-                 static_cast<unsigned long long>(relevel_touched));
+                 static_cast<unsigned long long>(relevel_touched),
+                 analytics.serve_bytes.degree_of_imbalance, analytics.serve_bytes.cv,
+                 analytics.serve_bytes.gini, analytics.serve_bytes.peak_over_mean,
+                 analytics.straggler_nodes.size(), analytics.straggler_processes.size());
 
     std::printf("%-24s replay %8.3f ms  makespan %8.2f s  local %5.1f%%\n", sc.name,
                 wall_ms_min, makespan, local_pct);

@@ -1,0 +1,46 @@
+# Byte-determinism check for the run-report outputs, run as a ctest entry
+# (see examples/CMakeLists.txt). Invoked in script mode:
+#
+#   cmake -DCLI=<path-to-opass_cli> -DOUT_DIR=<scratch-dir> \
+#         -P cmake/run_report_check.cmake
+#
+# Runs the CLI twice with an identical fixed-seed scenario, writing the HTML
+# report and timeline JSON to different paths, then requires both pairs to be
+# byte-identical. The report embeds sampled time series and derived analytics,
+# so any nondeterminism in the sampler, the analytics pass, or the renderer
+# (container iteration order, float formatting) fails this test.
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<opass_cli> -DOUT_DIR=<dir> -P run_report_check.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${CLI}" --scenario=single --nodes=16 --tasks=80 --method=both
+            --seed=42 --report-html=${OUT_DIR}/report_${run}.html
+            --timeline-out=${OUT_DIR}/timeline_${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "opass_cli run ${run} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(kind report_ timeline_)
+  if(kind STREQUAL "report_")
+    set(ext html)
+  else()
+    set(ext json)
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/${kind}1.${ext}" "${OUT_DIR}/${kind}2.${ext}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${kind}output differs between identical runs — "
+                        "report emission is not byte-deterministic")
+  endif()
+endforeach()
+
+message(STATUS "report and timeline outputs are byte-identical across runs")

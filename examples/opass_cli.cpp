@@ -16,18 +16,27 @@
 // --trace-out writes a Chrome trace-event file (open in chrome://tracing or
 // ui.perfetto.dev; with --method=both the two methods appear as separate
 // process groups), and --hotspots prints the per-node serving report.
+// --timeline-out samples the run at --sample-interval virtual seconds and
+// writes the series + imbalance analytics as JSON; --report-html renders the
+// same data as one self-contained HTML page (inline SVG charts, no external
+// assets). Both are byte-identical across runs of one seed. When --trace-out
+// is also given, the cluster-wide series join the trace as counter tracks.
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "graph/max_flow.hpp"
+#include "obs/analytics.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/hotspot.hpp"
 #include "obs/metrics_io.hpp"
+#include "obs/report.hpp"
 #include "opass/plan_audit.hpp"
 
 namespace {
@@ -39,6 +48,11 @@ struct ObsSinks {
   obs::MetricsRegistry* metrics = nullptr;
   obs::ChromeTraceBuilder* trace = nullptr;
   bool hotspots = false;
+  /// When set, each run records a timeline (one recorder per method, owned
+  /// by `timelines`) and registers a MethodReport with the builder.
+  obs::ReportBuilder* report = nullptr;
+  std::vector<std::unique_ptr<obs::TimelineRecorder>>* timelines = nullptr;
+  double sample_interval = 0.5;
 };
 
 int run_method(const std::string& scenario, exp::Method method,
@@ -47,7 +61,16 @@ int run_method(const std::string& scenario, exp::Method method,
   exp::ExperimentConfig run_cfg = cfg;
   runtime::ExecutionResult raw;
   run_cfg.metrics = sinks.metrics;
-  if (sinks.trace != nullptr || sinks.hotspots) run_cfg.raw = &raw;
+  if (sinks.trace != nullptr || sinks.hotspots || sinks.report != nullptr)
+    run_cfg.raw = &raw;
+  obs::TimelineRecorder* recorder = nullptr;
+  if (sinks.report != nullptr) {
+    obs::TimelineRecorder::Options topt;
+    topt.interval = sinks.sample_interval;
+    recorder = sinks.timelines->emplace_back(
+        std::make_unique<obs::TimelineRecorder>(topt)).get();
+    run_cfg.timeline = recorder;
+  }
 
   exp::RunOutput out;
   if (scenario == "single") {
@@ -71,12 +94,22 @@ int run_method(const std::string& scenario, exp::Method method,
     return 1;
   }
 
+  const std::uint32_t pid = method == exp::Method::kBaseline ? 0 : 1;
   if (sinks.trace != nullptr) {
     // One trace process group per method, so --method=both renders both
     // timelines side by side.
-    const std::uint32_t pid = method == exp::Method::kBaseline ? 0 : 1;
     sinks.trace->set_process_name(pid, exp::method_name(method));
     sinks.trace->add_execution(raw, pid);
+  }
+  if (recorder != nullptr) {
+    obs::MethodReport mr;
+    mr.name = exp::method_name(method);
+    mr.timeline = recorder;
+    mr.analytics = obs::analyze_execution(raw, cfg.nodes);
+    mr.makespan = out.makespan;
+    mr.local_fraction = out.local_fraction;
+    sinks.report->add_method(std::move(mr));
+    if (sinks.trace != nullptr) obs::add_timeline_counters(*sinks.trace, *recorder, pid);
   }
   if (sinks.hotspots) {
     std::printf("[%s]\n%s\n", exp::method_name(method),
@@ -141,6 +174,9 @@ int main(int argc, char** argv) {
       .add("audit", "false", "audit the scenario's plan statically instead of simulating")
       .add("metrics-out", "", "write run metrics to this path (.csv => CSV, else JSON)")
       .add("trace-out", "", "write a Chrome trace-event JSON file to this path")
+      .add("timeline-out", "", "write sampled time series + analytics JSON to this path")
+      .add("report-html", "", "write a self-contained HTML run report to this path")
+      .add("sample-interval", "0.5", "timeline sampling period in virtual seconds")
       .add("hotspots", "false", "print the per-node serving hotspot report")
       .add("help", "false", "show usage");
   if (!opts.parse(argc, argv) || opts.boolean("help")) {
@@ -191,11 +227,24 @@ int main(int argc, char** argv) {
 
   const std::string metrics_out = opts.str("metrics-out");
   const std::string trace_out = opts.str("trace-out");
+  const std::string timeline_out = opts.str("timeline-out");
+  const std::string report_html = opts.str("report-html");
   obs::MetricsRegistry registry;
   obs::ChromeTraceBuilder trace_builder;
+  obs::ReportBuilder report_builder;
+  std::vector<std::unique_ptr<obs::TimelineRecorder>> timelines;
   ObsSinks sinks;
   if (!metrics_out.empty()) sinks.metrics = &registry;
   if (!trace_out.empty()) sinks.trace = &trace_builder;
+  if (!timeline_out.empty() || !report_html.empty()) {
+    sinks.report = &report_builder;
+    sinks.timelines = &timelines;
+    sinks.sample_interval = opts.real("sample-interval");
+    if (!(sinks.sample_interval > 0)) {
+      std::fprintf(stderr, "sample-interval must be positive\n");
+      return 2;
+    }
+  }
   sinks.hotspots = opts.boolean("hotspots");
 
   Table table({"method", "avg I/O (s)", "max I/O (s)", "local %", "Jain", "makespan (s)"});
@@ -225,6 +274,20 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) {
     const obs::IoStatus st = obs::write_file(trace_out, trace_builder.json());
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!timeline_out.empty()) {
+    const obs::IoStatus st = obs::write_file(timeline_out, report_builder.timeline_json());
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!report_html.empty()) {
+    const obs::IoStatus st = obs::write_file(report_html, report_builder.html());
     if (!st.ok) {
       std::fprintf(stderr, "error: %s\n", st.message.c_str());
       rc |= 1;

@@ -155,7 +155,11 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(sc.placement.size());
+  obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
+  ec.probe = timeline.executor_probe();
+  timeline.add_expected_bytes(runtime::total_task_bytes(sc.nn, sc.tasks));
   const auto exec = runtime::execute(cluster, sc.nn, sc.tasks, source, exec_rng, ec);
+  timeline.finish();
   observe_run(cfg, method, exec, cluster);
   return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
 }
@@ -191,10 +195,14 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(placement.size());
+  obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
+  ec.probe = timeline.executor_probe();
+  timeline.add_expected_bytes(runtime::total_task_bytes(nn, tasks));
 
   if (method == Method::kBaseline) {
     runtime::MasterWorkerSource source(task_count, streams.assign, /*shuffle=*/true);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+    timeline.finish();
     observe_run(cfg, method, exec, cluster);
     return reduce(nn, tasks, exec, placement, nullptr);
   }
@@ -204,6 +212,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
                                     streams.assign);
   core::OpassDynamicSource source(guideline, nn, tasks, placement);
   const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
+  timeline.finish();
   observe_run(cfg, method, exec, cluster);
   if (cfg.metrics != nullptr) obs::collect_dynamic(*cfg.metrics, source, "opass.dynamic");
   auto out = reduce(nn, tasks, exec, placement, &guideline);
@@ -223,6 +232,9 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  // One timeline spans every rendering step; expected bytes grow per step.
+  obs::RunTimeline timeline(cfg.timeline, cluster, m);
+  ec.probe = timeline.executor_probe();
 
   runtime::ExecutionResult agg;  // run-level aggregate across rendering steps
   Bytes planned_total = 0, planned_local = 0;
@@ -255,6 +267,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
     planned_local += stats.local_bytes;
 
     const Seconds step_start = cluster.simulator().now();
+    timeline.add_expected_bytes(runtime::total_task_bytes(nn, step_tasks));
     runtime::StaticAssignmentSource source(assignment);
     auto exec = runtime::execute(cluster, nn, step_tasks, source, streams.exec, ec);
     out.step_times.push_back(exec.makespan - step_start);
@@ -262,6 +275,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   }
 
   for (Seconds t : out.step_times) out.total_time += t;
+  timeline.finish();
   observe_run(cfg, method, agg, cluster);
   out.run.io = summarize(agg.trace.io_times());
   out.run.io_times = agg.trace.io_times_by_issue();
@@ -302,16 +316,22 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  // One timeline spans every epoch; the same dataset is owed again each pass.
+  obs::RunTimeline timeline(cfg.timeline, cluster,
+                            static_cast<std::uint32_t>(placement.size()));
+  ec.probe = timeline.executor_probe();
   runtime::ExecutionResult agg;  // run-level aggregate across epochs
 
   for (std::uint32_t e = 0; e < epochs; ++e) {
     const Seconds epoch_start = cluster.simulator().now();
+    timeline.add_expected_bytes(runtime::total_task_bytes(nn, tasks));
     runtime::StaticAssignmentSource source(assignment);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
     out.epoch_times.push_back(exec.makespan - epoch_start);
     accumulate(agg, exec);
   }
   for (Seconds t : out.epoch_times) out.total_time += t;
+  timeline.finish();
   observe_run(cfg, method, agg, cluster);
 
   out.run.io = summarize(agg.trace.io_times());

@@ -19,6 +19,7 @@
 #include "dfs/replica_choice.hpp"
 #include "graph/max_flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "opass/locality_graph.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/static_partitioner.hpp"
@@ -63,6 +64,11 @@ struct ExperimentConfig {
   /// trace exporter (obs/chrome_trace.hpp) wants.
   obs::MetricsRegistry* metrics = nullptr;
   runtime::ExecutionResult* raw = nullptr;
+  /// When set, the run streams time series into the recorder (per-node serve
+  /// rate and in-flight reads, per-process queue depth, bytes remaining —
+  /// see obs/timeline.hpp) and finish()es it at the run's end. One recorder
+  /// covers one run: a `--method=both` comparison needs two.
+  obs::TimelineRecorder* timeline = nullptr;
 };
 
 /// Reduced results of one run.

@@ -56,6 +56,19 @@ void ChromeTraceBuilder::add_execution(const runtime::ExecutionResult& result,
   }
 }
 
+void ChromeTraceBuilder::add_counter(std::uint32_t pid, const std::string& name,
+                                     double ts_us, double value) {
+  OPASS_REQUIRE(ts_us >= 0, "counter sample before the epoch");
+  Event e;
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.ph = 'C';
+  e.name = name;
+  e.cat = "counter";
+  e.args_json = "{\"value\": " + format_double(value) + "}";
+  events_.push_back(std::move(e));
+}
+
 std::string ChromeTraceBuilder::json() const {
   std::vector<const Event*> order;
   order.reserve(events_.size());
@@ -72,16 +85,38 @@ std::string ChromeTraceBuilder::json() const {
     first = false;
     out += "  " + event;
   };
-  for (const auto& [pid, name] : process_names_) {
+  // Metadata block, sorted by pid: a name pins the group label, the
+  // sort_index events pin numeric group/track order (the viewer's default is
+  // lexicographic, which misplaces rank 10 before rank 2).
+  std::vector<std::pair<std::uint32_t, std::string>> names = process_names_;
+  std::sort(names.begin(), names.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [pid, name] : names) {
     emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " + format_u64(pid) +
          ", \"tid\": 0, \"args\": {\"name\": \"" + name + "\"}}");
+    emit("{\"name\": \"process_sort_index\", \"ph\": \"M\", \"pid\": " +
+         format_u64(pid) + ", \"tid\": 0, \"args\": {\"sort_index\": " +
+         format_u64(pid) + "}}");
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tracks;
+  for (const Event& e : events_)
+    if (e.ph == 'X') tracks.emplace_back(e.pid, e.tid);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  for (const auto& [pid, tid] : tracks) {
+    emit("{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": " +
+         format_u64(pid) + ", \"tid\": " + format_u64(tid) +
+         ", \"args\": {\"sort_index\": " + format_u64(tid) + "}}");
   }
   for (const Event* e : order) {
-    std::string line = "{\"name\": \"" + e->name + "\", \"cat\": \"" + e->cat +
-                       "\", \"ph\": \"X\", \"ts\": " + format_double(e->ts_us) +
-                       ", \"dur\": " + format_double(e->dur_us) +
-                       ", \"pid\": " + format_u64(e->pid) +
-                       ", \"tid\": " + format_u64(e->tid);
+    std::string line = "{\"name\": \"" + e->name + "\", \"cat\": \"" + e->cat + "\"";
+    if (e->ph == 'X') {
+      line += ", \"ph\": \"X\", \"ts\": " + format_double(e->ts_us) +
+              ", \"dur\": " + format_double(e->dur_us);
+    } else {
+      line += ", \"ph\": \"C\", \"ts\": " + format_double(e->ts_us);
+    }
+    line += ", \"pid\": " + format_u64(e->pid) + ", \"tid\": " + format_u64(e->tid);
     if (!e->args_json.empty()) line += ", \"args\": " + e->args_json;
     line += "}";
     emit(line);

@@ -7,12 +7,14 @@
 // ("X") event in category "read" spanning issue_time..end_time with the
 // chunk, byte count, serving node and locality in its args; every
 // runtime::TaskSpan becomes an "X" event in category "task" spanning
-// pull..compute-done. Virtual seconds map to trace microseconds (1 s = 1e6
-// µs), the unit the trace-event spec requires.
+// pull..compute-done. Cluster-wide timeline series additionally export as
+// counter ("C") tracks (obs::add_timeline_counters). Virtual seconds map to
+// trace microseconds (1 s = 1e6 µs), the unit the trace-event spec requires.
 //
-// Determinism: events are emitted sorted by (ts, pid, tid, name) with the
-// fixed number format of obs/metrics_io.hpp, so a seeded run exports a
-// byte-identical trace — the same contract as the metric sinks.
+// Determinism: metadata events are emitted sorted by (pid, tid), duration
+// and counter events by (ts, pid, tid, name), all with the fixed number
+// format of obs/metrics_io.hpp — so a seeded run exports a byte-identical
+// trace, the same contract as the metric sinks.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +30,8 @@ namespace opass::obs {
 class ChromeTraceBuilder {
  public:
   /// Name the process group `pid` (emitted as an "M" process_name metadata
-  /// event, shown as the group label in the viewer).
+  /// event, shown as the group label in the viewer). Repeated calls for the
+  /// same pid overwrite the previous name — one metadata event per pid.
   void set_process_name(std::uint32_t pid, const std::string& name);
 
   /// Add every read and task span of `result` under process group `pid`.
@@ -36,19 +39,30 @@ class ChromeTraceBuilder {
   /// trace.
   void add_execution(const runtime::ExecutionResult& result, std::uint32_t pid = 0);
 
-  /// Number of duration events added so far (metadata not counted).
+  /// Append one counter ("C") sample: counter `name` had `value` at `ts_us`
+  /// trace microseconds. Consecutive samples of the same (pid, name) render
+  /// as a step chart in the viewer.
+  void add_counter(std::uint32_t pid, const std::string& name, double ts_us,
+                   double value);
+
+  /// Number of duration and counter events added so far (metadata not
+  /// counted).
   std::size_t event_count() const { return events_.size(); }
 
   /// Render the document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
-  /// Metadata events first, then duration events sorted by timestamp.
+  /// Metadata events first — process_name / process_sort_index per named
+  /// pid and thread_sort_index per (pid, tid) track, sorted by (pid, tid) so
+  /// the viewer orders groups and tracks numerically — then duration and
+  /// counter events sorted by timestamp.
   std::string json() const;
 
  private:
   struct Event {
     double ts_us = 0;   ///< issue time in trace microseconds
-    double dur_us = 0;  ///< duration in trace microseconds (>= 0)
+    double dur_us = 0;  ///< duration in trace microseconds (>= 0; "X" only)
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
+    char ph = 'X';      ///< "X" duration or "C" counter
     std::string name;
     const char* cat = "";
     std::string args_json;  ///< rendered {...} args object, may be empty

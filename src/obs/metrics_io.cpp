@@ -34,6 +34,21 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// RFC 4180 field quoting: a name containing a comma, quote, CR or LF is
+/// wrapped in double quotes with embedded quotes doubled. Metric names are
+/// normally bare identifiers, but an adversarial label must not shift every
+/// column after it (tests/obs/metrics_test.cpp pins this).
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string format_u64(std::uint64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%" PRIu64, v);
@@ -98,7 +113,7 @@ std::string to_csv(const MetricsRegistry& registry, ExportOptions options) {
   std::string out = "name,kind,value\n";
   const auto row = [&out](const std::string& name, const char* kind,
                           const std::string& value) {
-    out += name;
+    out += csv_escape(name);
     out += ',';
     out += kind;
     out += ',';

@@ -42,6 +42,7 @@ std::string to_json(const MetricsRegistry& registry, ExportOptions options = {})
 /// Serialize as CSV with header `name,kind,value`. Histograms flatten into
 /// one row per component: `<name>.count`, `<name>.sum`, `<name>.min`,
 /// `<name>.max`, `<name>.le_<bound>` per bucket and `<name>.overflow`.
+/// Names containing commas, quotes or newlines are quoted per RFC 4180.
 std::string to_csv(const MetricsRegistry& registry, ExportOptions options = {});
 
 /// Write `content` to `path`, overwriting. Fails (with a message naming the

@@ -1,0 +1,252 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "obs/metrics_io.hpp"
+
+namespace opass::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+constexpr int kChartWidth = 640;
+constexpr int kChartHeight = 160;
+
+bool safe_label(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Sample times of a finished recorder: boundary ticks at k * interval for
+/// every retained tick, plus the trailing partial sample at end_time.
+std::vector<double> sample_times(const TimelineRecorder& t) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(t.tick_count() - t.first_retained_tick()) + 1);
+  for (std::uint64_t k = t.first_retained_tick(); k < t.tick_count(); ++k)
+    times.push_back(static_cast<double>(k) * t.interval());
+  if (t.partial_duration() > 0) times.push_back(t.end_time());
+  return times;
+}
+
+/// Find a series id by exact name; returns false when the recorder has none
+/// (e.g. a run shape that never wired the executor probe).
+bool find_series(const TimelineRecorder& t, const std::string& name,
+                 TimelineRecorder::SeriesId& out) {
+  for (TimelineRecorder::SeriesId id = 0; id < t.series_count(); ++id) {
+    if (t.series_name(id) == name) {
+      out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One inline SVG step chart of a single series.
+std::string svg_chart(const std::string& chart_id, const std::string& title,
+                      const TimelineRecorder& t, const std::string& series) {
+  std::string out = "<figure>\n<figcaption>" + title + "</figcaption>\n";
+  TimelineRecorder::SeriesId id = 0;
+  if (!find_series(t, series, id)) {
+    return out + "<p class=\"missing\" id=\"" + chart_id +
+           "\">series not recorded</p>\n</figure>\n";
+  }
+  const std::vector<double> values = t.series_values(id);
+  const std::vector<double> times = sample_times(t);
+  OPASS_CHECK(values.size() == times.size(), "sample/time count mismatch");
+
+  double vmax = 0;
+  for (double v : values) vmax = std::max(vmax, v);
+  const double tmax = times.empty() ? 0 : std::max(times.back(), t.interval());
+
+  out += "<svg id=\"" + chart_id + "\" viewBox=\"0 0 " +
+         std::to_string(kChartWidth) + " " + std::to_string(kChartHeight) +
+         "\" preserveAspectRatio=\"none\">\n";
+  std::string points;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = tmax > 0 ? times[i] / tmax * kChartWidth : 0;
+    const double y = vmax > 0 ? kChartHeight - values[i] / vmax * kChartHeight
+                              : kChartHeight;
+    if (!points.empty()) points += " ";
+    points += format_double(x) + "," + format_double(y);
+  }
+  out += "<polyline fill=\"none\" stroke=\"currentColor\" stroke-width=\"1.5\" "
+         "points=\"" + points + "\"/>\n</svg>\n";
+  out += "<p class=\"axis\">0 &ndash; " + format_double(tmax) +
+         " s, peak " + format_double(vmax) + "</p>\n</figure>\n";
+  return out;
+}
+
+std::string imbalance_json(const ImbalanceStats& s) {
+  return "{\"count\": " + std::to_string(s.count) +
+         ", \"mean\": " + format_double(s.mean) +
+         ", \"max\": " + format_double(s.max) +
+         ", \"degree_of_imbalance\": " + format_double(s.degree_of_imbalance) +
+         ", \"cv\": " + format_double(s.cv) +
+         ", \"gini\": " + format_double(s.gini) +
+         ", \"peak_over_mean\": " + format_double(s.peak_over_mean) + "}";
+}
+
+std::string stragglers_json(const std::vector<Straggler>& list) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Straggler& s = list[i];
+    if (i > 0) out += ", ";
+    out += "{\"id\": " + std::to_string(s.id) +
+           ", \"finish\": " + format_double(s.finish) +
+           ", \"threshold\": " + format_double(s.threshold) + ", \"chunks\": [";
+    for (std::size_t c = 0; c < s.causal_chunks.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += std::to_string(s.causal_chunks[c]);
+    }
+    out += "]}";
+  }
+  return out + "]";
+}
+
+std::string imbalance_rows(const std::string& label, const ImbalanceStats& s) {
+  return "<tr><td>" + label + " degree of imbalance</td><td>" +
+         format_double(s.degree_of_imbalance) + "</td></tr>\n<tr><td>" + label +
+         " CV</td><td>" + format_double(s.cv) + "</td></tr>\n<tr><td>" + label +
+         " Gini</td><td>" + format_double(s.gini) + "</td></tr>\n<tr><td>" +
+         label + " peak / mean</td><td>" + format_double(s.peak_over_mean) +
+         "</td></tr>\n";
+}
+
+std::string straggler_rows(const std::string& label,
+                           const std::vector<Straggler>& list) {
+  std::string out = "<tr><td>";
+  out += label;
+  out += "</td><td>";
+  out += std::to_string(list.size());
+  if (!list.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '#';
+      out += std::to_string(list[i].id);
+    }
+    out += ")";
+  }
+  out += "</td></tr>\n";
+  return out;
+}
+
+}  // namespace
+
+void ReportBuilder::add_method(MethodReport method) {
+  OPASS_REQUIRE(safe_label(method.name),
+                "method name must be [a-z0-9_]+: " + method.name);
+  OPASS_REQUIRE(method.timeline != nullptr, "method report without a timeline");
+  OPASS_REQUIRE(method.timeline->finished(),
+                "finish() the recorder before building reports");
+  for (const MethodReport& m : methods_)
+    OPASS_REQUIRE(m.name != method.name, "duplicate method report: " + method.name);
+  methods_.push_back(std::move(method));
+}
+
+std::string ReportBuilder::html() const {
+  std::string out =
+      "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      "<title>opass run report</title>\n<style>\n"
+      "body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }\n"
+      "section { margin-bottom: 2.5rem; }\n"
+      "figure { margin: 1rem 0; }\n"
+      "figcaption { font-weight: 600; margin-bottom: 0.25rem; }\n"
+      "svg { width: 100%; max-width: 640px; height: 160px; display: block;\n"
+      "      border: 1px solid #ccc; background: #fafafa; color: #0b62a4; }\n"
+      ".axis, .missing { color: #666; font-size: 0.85rem; margin: 0.25rem 0; }\n"
+      "table { border-collapse: collapse; }\n"
+      "td { border: 1px solid #ccc; padding: 0.25rem 0.75rem; }\n"
+      "</style>\n</head>\n<body>\n<h1>opass run report</h1>\n";
+  for (const MethodReport& m : methods_) {
+    const TimelineRecorder& t = *m.timeline;
+    out += "<section id=\"method-" + m.name + "\">\n<h2>" + m.name + "</h2>\n";
+    out += "<table>\n";
+    out += "<tr><td>makespan</td><td>" + format_double(m.makespan) + " s</td></tr>\n";
+    out += "<tr><td>local read fraction</td><td>" + format_double(m.local_fraction) +
+           "</td></tr>\n";
+    out += imbalance_rows("serve bytes", m.analytics.serve_bytes);
+    out += imbalance_rows("process finish", m.analytics.process_finish);
+    out += straggler_rows("straggler nodes", m.analytics.straggler_nodes);
+    out += straggler_rows("straggler processes", m.analytics.straggler_processes);
+    if (t.dropped_ticks() > 0) {
+      out += "<tr><td>dropped ticks (ring wrap)</td><td>" +
+             std::to_string(t.dropped_ticks()) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+    out += svg_chart("chart-" + m.name + "-serve-bytes",
+                     "cluster serve rate (bytes/s)", t,
+                     "timeline.cluster.serve_bytes_per_s");
+    out += svg_chart("chart-" + m.name + "-queue-depth",
+                     "executor queue depth (in-flight ops)", t,
+                     "timeline.executor.queue_depth");
+    out += svg_chart("chart-" + m.name + "-bytes-remaining", "bytes remaining", t,
+                     "timeline.cluster.bytes_remaining");
+    out += "</section>\n";
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+std::string ReportBuilder::timeline_json() const {
+  std::string out = "{\"schema\": 1, \"methods\": [";
+  for (std::size_t mi = 0; mi < methods_.size(); ++mi) {
+    const MethodReport& m = methods_[mi];
+    const TimelineRecorder& t = *m.timeline;
+    out += mi > 0 ? ",\n" : "\n";
+    out += " {\"name\": \"" + m.name + "\"";
+    out += ", \"interval\": " + format_double(t.interval());
+    out += ", \"end_time\": " + format_double(t.end_time());
+    out += ", \"partial_duration\": " + format_double(t.partial_duration());
+    out += ", \"tick_count\": " + std::to_string(t.tick_count());
+    out += ", \"dropped_ticks\": " + std::to_string(t.dropped_ticks());
+    out += ", \"makespan\": " + format_double(m.makespan);
+    out += ", \"local_fraction\": " + format_double(m.local_fraction);
+    out += ",\n  \"analytics\": {\"serve_bytes\": " +
+           imbalance_json(m.analytics.serve_bytes) +
+           ", \"process_finish\": " + imbalance_json(m.analytics.process_finish) +
+           ", \"node_finish_p90\": " + format_double(m.analytics.node_finish_p90) +
+           ", \"process_finish_p90\": " +
+           format_double(m.analytics.process_finish_p90) +
+           ", \"straggler_nodes\": " + stragglers_json(m.analytics.straggler_nodes) +
+           ", \"straggler_processes\": " +
+           stragglers_json(m.analytics.straggler_processes) + "}";
+    out += ",\n  \"series\": [";
+    for (TimelineRecorder::SeriesId id = 0; id < t.series_count(); ++id) {
+      out += id > 0 ? ",\n   " : "\n   ";
+      out += "{\"name\": \"" + t.series_name(id) + "\", \"kind\": \"" +
+             series_kind_name(t.series_kind(id)) + "\", \"values\": [";
+      const std::vector<double> values = t.series_values(id);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += format_double(values[i]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void add_timeline_counters(ChromeTraceBuilder& trace, const TimelineRecorder& timeline,
+                           std::uint32_t pid) {
+  OPASS_REQUIRE(timeline.finished(), "finish() the recorder before exporting counters");
+  for (TimelineRecorder::SeriesId id = 0; id < timeline.series_count(); ++id) {
+    const std::string& name = timeline.series_name(id);
+    // Cluster-wide series only: exactly three segments. Per-node/per-process
+    // series have four and would swamp the viewer with counter tracks.
+    if (std::count(name.begin(), name.end(), '.') != 2) continue;
+    const std::vector<double> values = timeline.series_values(id);
+    const std::vector<double> times = sample_times(timeline);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      trace.add_counter(pid, name, times[i] * kMicrosPerSecond, values[i]);
+  }
+}
+
+}  // namespace opass::obs

@@ -1,0 +1,292 @@
+#include "obs/timeline.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace opass::obs {
+
+namespace {
+
+/// Boundary index of the last sample due at or before `now`:
+/// floor(now / interval) with a relative epsilon so times that are
+/// mathematically on a boundary but one ulp below it still count as on it.
+std::uint64_t tick_floor(Seconds now, Seconds interval) {
+  if (now <= 0) return 0;
+  return static_cast<std::uint64_t>(std::floor(now / interval * (1.0 + 1e-12)));
+}
+
+bool lower_segment(const std::string& name, std::size_t begin, std::size_t end) {
+  if (begin >= end) return false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* series_kind_name(SeriesKind kind) {
+  return kind == SeriesKind::kLevel ? "level" : "rate";
+}
+
+bool valid_timeline_series_name(const std::string& name) {
+  constexpr const char kPrefix[] = "timeline.";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  std::size_t segments = 1;  // "timeline"
+  std::size_t begin = kPrefixLen;
+  while (true) {
+    const std::size_t dot = name.find('.', begin);
+    const std::size_t end = dot == std::string::npos ? name.size() : dot;
+    if (!lower_segment(name, begin, end)) return false;
+    ++segments;
+    if (dot == std::string::npos) break;
+    begin = dot + 1;
+  }
+  return segments >= 3;
+}
+
+TimelineRecorder::TimelineRecorder() : TimelineRecorder(Options{}) {}
+
+TimelineRecorder::TimelineRecorder(Options options)
+    : interval_(options.interval), capacity_(options.capacity) {
+  OPASS_REQUIRE(interval_ > 0, "sampling interval must be positive");
+  OPASS_REQUIRE(capacity_ > 0, "ring capacity must be positive");
+}
+
+TimelineRecorder::SeriesId TimelineRecorder::add_level_series(const std::string& name,
+                                                              double initial) {
+  OPASS_REQUIRE(valid_timeline_series_name(name),
+                "series name must follow the timeline.<subsystem>.<metric> taxonomy: " + name);
+  for (const Series& s : series_)
+    OPASS_REQUIRE(s.name != name, "duplicate timeline series: " + name);
+  OPASS_REQUIRE(next_tick_ == 0 && !finished_,
+                "register every series before the first sample");
+  Series s;
+  s.name = name;
+  s.kind = SeriesKind::kLevel;
+  s.level = initial;
+  series_.push_back(std::move(s));
+  return static_cast<SeriesId>(series_.size() - 1);
+}
+
+TimelineRecorder::SeriesId TimelineRecorder::add_rate_series(const std::string& name) {
+  const SeriesId id = add_level_series(name, 0);
+  series_[id].kind = SeriesKind::kRate;
+  return id;
+}
+
+TimelineRecorder::Series& TimelineRecorder::checked(SeriesId id) {
+  OPASS_REQUIRE(id < series_.size(), "unknown timeline series id");
+  OPASS_REQUIRE(!finished_, "cannot record into a finished timeline");
+  return series_[id];
+}
+
+void TimelineRecorder::record_level(SeriesId id, Seconds now, double value) {
+  Series& s = checked(id);
+  OPASS_REQUIRE(s.kind == SeriesKind::kLevel, "record_level on a rate series");
+  advance_to(now);
+  s.level = value;
+}
+
+void TimelineRecorder::record_delta(SeriesId id, Seconds now, double delta) {
+  Series& s = checked(id);
+  OPASS_REQUIRE(s.kind == SeriesKind::kLevel, "record_delta on a rate series");
+  advance_to(now);
+  s.level += delta;
+}
+
+void TimelineRecorder::record_rate(SeriesId id, Seconds now, double amount) {
+  Series& s = checked(id);
+  OPASS_REQUIRE(s.kind == SeriesKind::kRate, "record_rate on a level series");
+  advance_to(now);
+  s.accum += amount;
+}
+
+void TimelineRecorder::emit_tick(Seconds /*tick_start*/, Seconds duration) {
+  const std::size_t slot = static_cast<std::size_t>(next_tick_ % capacity_);
+  for (Series& s : series_) {
+    double sample = s.level;
+    if (s.kind == SeriesKind::kRate) {
+      sample = s.accum / duration;
+      s.accum = 0;
+    }
+    if (s.ring.size() < capacity_) {
+      s.ring.push_back(sample);  // warm-up growth; allocation-free once full
+    } else {
+      s.ring[slot] = sample;
+    }
+  }
+  ++next_tick_;
+}
+
+void TimelineRecorder::advance_to(Seconds now) {
+  OPASS_REQUIRE(!finished_, "cannot advance a finished timeline");
+  const std::uint64_t last = tick_floor(now, interval_);
+  while (next_tick_ <= last)
+    emit_tick(static_cast<double>(next_tick_) * interval_, interval_);
+}
+
+void TimelineRecorder::finish(Seconds end) {
+  OPASS_REQUIRE(!finished_, "timeline already finished");
+  advance_to(end);
+  finished_ = true;
+  end_time_ = end;
+  // An end strictly inside an interval leaves an open remainder
+  // [last_boundary, end); emit it as one partial sample scaled by its true
+  // duration so trailing rate mass is never dropped.
+  const Seconds covered = static_cast<double>(next_tick_ ? next_tick_ - 1 : 0) * interval_;
+  const Seconds rest = end - covered;
+  if (next_tick_ > 0 && rest > interval_ * 1e-9) {
+    partial_duration_ = rest;
+    for (Series& s : series_) {
+      s.partial = s.kind == SeriesKind::kRate ? s.accum / rest : s.level;
+      s.accum = 0;
+    }
+  } else if (next_tick_ > 0) {
+    // The run ended exactly on a boundary. Events stamped at `end` were
+    // charged to the next interval — which will never come — so restamp the
+    // final boundary with the end state: rates fold the trailing
+    // accumulation in, levels take their final value.
+    const std::size_t slot = static_cast<std::size_t>((next_tick_ - 1) % capacity_);
+    for (Series& s : series_) {
+      if (s.kind == SeriesKind::kRate) {
+        if (s.accum != 0) s.ring[slot] += s.accum / interval_;
+        s.accum = 0;
+      } else {
+        s.ring[slot] = s.level;
+      }
+    }
+  }
+}
+
+const std::string& TimelineRecorder::series_name(SeriesId id) const {
+  OPASS_REQUIRE(id < series_.size(), "unknown timeline series id");
+  return series_[id].name;
+}
+
+SeriesKind TimelineRecorder::series_kind(SeriesId id) const {
+  OPASS_REQUIRE(id < series_.size(), "unknown timeline series id");
+  return series_[id].kind;
+}
+
+std::uint64_t TimelineRecorder::first_retained_tick() const {
+  return next_tick_ > capacity_ ? next_tick_ - capacity_ : 0;
+}
+
+std::uint64_t TimelineRecorder::dropped_ticks() const { return first_retained_tick(); }
+
+std::vector<double> TimelineRecorder::series_values(SeriesId id) const {
+  OPASS_REQUIRE(id < series_.size(), "unknown timeline series id");
+  const Series& s = series_[id];
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(next_tick_ - first_retained_tick()) +
+              (partial_duration_ > 0 ? 1 : 0));
+  for (std::uint64_t t = first_retained_tick(); t < next_tick_; ++t)
+    out.push_back(s.ring[static_cast<std::size_t>(t % capacity_)]);
+  if (partial_duration_ > 0) out.push_back(s.partial);
+  return out;
+}
+
+// --- probes -----------------------------------------------------------------
+
+ClusterTimelineProbe::ClusterTimelineProbe(TimelineRecorder& recorder,
+                                           const sim::Cluster& cluster)
+    : recorder_(recorder), cluster_(cluster) {
+  const std::uint32_t m = cluster.node_count();
+  node_rate_.reserve(m);
+  node_inflight_.reserve(m);
+  for (std::uint32_t n = 0; n < m; ++n) {
+    const std::string node = "timeline.cluster.node." + std::to_string(n);
+    node_rate_.push_back(recorder_.add_rate_series(node + ".serve_bytes_per_s"));
+    node_inflight_.push_back(recorder_.add_level_series(node + ".inflight"));
+  }
+  total_rate_ = recorder_.add_rate_series("timeline.cluster.serve_bytes_per_s");
+  total_inflight_ = recorder_.add_level_series("timeline.cluster.inflight");
+  read_slots_ = recorder_.add_level_series("timeline.cluster.read_slots");
+  bytes_remaining_ = recorder_.add_level_series("timeline.cluster.bytes_remaining");
+}
+
+void ClusterTimelineProbe::add_expected_bytes(Seconds now, Bytes bytes) {
+  remaining_ += static_cast<double>(bytes);
+  recorder_.record_level(bytes_remaining_, now, remaining_);
+}
+
+void ClusterTimelineProbe::on_read_issued(Seconds now, dfs::NodeId server, Bytes /*bytes*/) {
+  ++inflight_total_;
+  recorder_.record_level(node_inflight_[server], now,
+                         cluster_.inflight_per_node()[server]);
+  recorder_.record_level(total_inflight_, now, inflight_total_);
+  recorder_.record_level(read_slots_, now, cluster_.read_slot_count());
+}
+
+void ClusterTimelineProbe::on_read_finished(Seconds now, dfs::NodeId server, Bytes bytes,
+                                            bool completed) {
+  OPASS_CHECK(inflight_total_ > 0, "timeline in-flight underflow");
+  --inflight_total_;
+  recorder_.record_level(node_inflight_[server], now,
+                         cluster_.inflight_per_node()[server]);
+  recorder_.record_level(total_inflight_, now, inflight_total_);
+  if (!completed) return;  // aborted reads retry; their bytes are still owed
+  recorder_.record_rate(node_rate_[server], now, static_cast<double>(bytes));
+  recorder_.record_rate(total_rate_, now, static_cast<double>(bytes));
+  remaining_ -= static_cast<double>(bytes);
+  recorder_.record_level(bytes_remaining_, now, remaining_);
+}
+
+ExecutorTimelineProbe::ExecutorTimelineProbe(TimelineRecorder& recorder,
+                                             std::uint32_t process_count)
+    : recorder_(recorder), depth_(process_count, 0) {
+  process_depth_.reserve(process_count);
+  for (std::uint32_t p = 0; p < process_count; ++p)
+    process_depth_.push_back(recorder_.add_level_series(
+        "timeline.executor.process." + std::to_string(p) + ".depth"));
+  queue_depth_ = recorder_.add_level_series("timeline.executor.queue_depth");
+}
+
+void ExecutorTimelineProbe::on_process_depth(Seconds now, runtime::ProcessId process,
+                                             std::uint32_t depth) {
+  OPASS_REQUIRE(process < depth_.size(), "process rank out of probe range");
+  total_depth_ += depth;
+  OPASS_CHECK(total_depth_ >= depth_[process], "queue depth underflow");
+  total_depth_ -= depth_[process];
+  depth_[process] = depth;
+  recorder_.record_level(process_depth_[process], now, depth);
+  recorder_.record_level(queue_depth_, now, total_depth_);
+}
+
+// --- per-run wiring ---------------------------------------------------------
+
+RunTimeline::RunTimeline(TimelineRecorder* recorder, sim::Cluster& cluster,
+                         std::uint32_t process_count)
+    : recorder_(recorder), cluster_(cluster) {
+  if (recorder_ == nullptr) return;
+  // Probe registration is idempotent per recorder: a recorder carries series
+  // from at most one cluster/executor shape, so re-wiring the same recorder
+  // (multi-step scenarios recreate RunTimeline only when they recreate the
+  // cluster) would double-register names and trip the duplicate check.
+  cluster_probe_ = std::make_unique<ClusterTimelineProbe>(*recorder_, cluster);
+  executor_probe_ = std::make_unique<ExecutorTimelineProbe>(*recorder_, process_count);
+  cluster_.set_probe(cluster_probe_.get());
+}
+
+RunTimeline::~RunTimeline() {
+  if (cluster_probe_ != nullptr) cluster_.set_probe(nullptr);
+}
+
+runtime::ExecutorProbe* RunTimeline::executor_probe() { return executor_probe_.get(); }
+
+void RunTimeline::add_expected_bytes(Bytes bytes) {
+  if (cluster_probe_ != nullptr)
+    cluster_probe_->add_expected_bytes(cluster_.simulator().now(), bytes);
+}
+
+void RunTimeline::finish() {
+  if (recorder_ != nullptr) recorder_->finish(cluster_.simulator().now());
+}
+
+}  // namespace opass::obs

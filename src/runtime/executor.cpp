@@ -23,6 +23,8 @@ class Driver {
     replica_choice_ = config.replica_choice;
     prefetch_ = config.prefetch;
     bsp_ = config.barrier_per_task;
+    probe_ = config.probe;
+    depth_.assign(m, 0);
     OPASS_REQUIRE(!(prefetch_ && bsp_), "prefetch and barrier_per_task are exclusive");
     result_.process_finish_time.assign(m, 0);
     result_.barrier_stall.assign(m, 0);
@@ -155,8 +157,11 @@ class Driver {
       }
       // All inputs in memory: spend the compute time, then continue.
       if (task.compute_time > 0) {
-        cluster_.simulator().after(task.compute_time,
-                                   [this, p](Seconds) { task_complete(p); });
+        bump_depth(p, +1);
+        cluster_.simulator().after(task.compute_time, [this, p](Seconds) {
+          bump_depth(p, -1);
+          task_complete(p);
+        });
       } else {
         task_complete(p);
       }
@@ -210,9 +215,11 @@ class Driver {
     st.events_pending = 2;  // event A: compute; event B: next task's reads
 
     if (task.compute_time > 0) {
+      bump_depth(p, +1);
       cluster_.simulator().after(
           task.compute_time,
           [this, p, t = st.computing, s = st.computing_start](Seconds end) {
+            bump_depth(p, -1);
             result_.task_spans.push_back({p, t, s, end});
             cycle_event(p);
           });
@@ -273,18 +280,30 @@ class Driver {
     rec.issue_time = cluster_.simulator().now();
     rec.local = server == st.node;
 
+    bump_depth(p, +1);
     cluster_.read(
         st.node, server, info.size,
         [this, p, rec](Seconds end) mutable {
+          bump_depth(p, -1);
           rec.end_time = end;
           result_.trace.add(rec);
           read_next_input(p);
         },
         [this, p, cid](Seconds) {
           // Server died mid-read: retry on another replica.
+          bump_depth(p, -1);
           ++result_.read_failures;
           issue_read(p, cid);
         });
+  }
+
+  /// Queue-depth stamp: maintained only when a probe is attached, so the
+  /// unprobed hot path pays one branch.
+  void bump_depth(ProcessId p, int delta) {
+    if (probe_ == nullptr) return;
+    OPASS_CHECK(delta > 0 || depth_[p] > 0, "process depth underflow");
+    depth_[p] = static_cast<std::uint32_t>(static_cast<int>(depth_[p]) + delta);
+    probe_->on_process_depth(cluster_.simulator().now(), p, depth_[p]);
   }
 
   sim::Cluster& cluster_;
@@ -295,6 +314,8 @@ class Driver {
   dfs::ReplicaChoice replica_choice_ = dfs::ReplicaChoice::kRandom;
   bool prefetch_ = false;
   bool bsp_ = false;
+  ExecutorProbe* probe_ = nullptr;
+  std::vector<std::uint32_t> depth_;  ///< per-process op depth (probe only)
   std::vector<char> retired_;
   std::vector<Seconds> wave_arrival_;  ///< barrier-park time per process; -1 = not parked
   std::vector<ProcessId> wave_buf_;    ///< reusable wave scratch for release_wave

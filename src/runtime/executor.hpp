@@ -49,6 +49,23 @@ struct ExecutionResult {
   std::uint32_t read_failures = 0;  ///< aborted reads retried on another replica
 };
 
+/// Execution-lifecycle observer. The executor stays metric-blind (DESIGN.md
+/// §8): it stamps per-process queue-depth transitions and nothing more;
+/// turning the stamps into time series is the obs layer's job
+/// (obs::ExecutorTimelineProbe).
+class ExecutorProbe {
+ public:
+  virtual ~ExecutorProbe() = default;
+
+  /// The process's operation depth changed: `depth` counts its in-flight
+  /// operations (chunk reads being served plus an active compute phase)
+  /// after the transition. Stamped at read issue/completion/abort and at
+  /// compute start/end; a drained process stays at depth 0, which is what
+  /// makes straggler tails visible on the timeline.
+  virtual void on_process_depth(Seconds now, ProcessId process,
+                                std::uint32_t depth) = 0;
+};
+
 /// Configuration of one parallel execution.
 struct ExecutorConfig {
   std::uint32_t process_count = 0;  ///< 0 = one process per cluster node
@@ -65,6 +82,9 @@ struct ExecutorConfig {
   /// prolongs the whole execution; it makes the imbalance penalty visible
   /// in its purest form. Mutually exclusive with prefetch.
   bool barrier_per_task = false;
+  /// Optional queue-depth probe (borrowed; must outlive the run). Null = no
+  /// stamping, zero overhead.
+  ExecutorProbe* probe = nullptr;
 };
 
 /// Run the job to completion on `cluster` (which must be idle) and return the

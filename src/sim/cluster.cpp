@@ -108,6 +108,7 @@ void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
 
   // DataNode admission gate (xceiver limit): queue when the server already
   // serves its maximum number of concurrent reads.
+  if (probe_ != nullptr) probe_->on_read_issued(sim_.now(), server, bytes);
   if (params_.max_concurrent_serves > 0 &&
       serving_[server] >= params_.max_concurrent_serves) {
     waiting_[server].push_back(id);
@@ -175,9 +176,12 @@ void Cluster::admit(ReadId id) {
                                 --inflight_[done.server];
                                 served_[done.server] += done.bytes;
                                 const dfs::NodeId server = done.server;
+                                const Bytes bytes = done.bytes;
                                 auto cb = std::move(done.on_complete);
                                 retire_read(cslot);
                                 release_serve_slot(server);
+                                if (probe_ != nullptr)
+                                  probe_->on_read_finished(end, server, bytes, true);
                                 if (cb) cb(end);
                               },
                               cap);
@@ -216,8 +220,10 @@ void Cluster::fail_node(dfs::NodeId node, Seconds when) {
       }
       OPASS_CHECK(inflight_[node] > 0, "in-flight count underflow");
       --inflight_[node];
+      const Bytes bytes = op.bytes;
       if (op.on_failure) failures.push_back(std::move(op.on_failure));
       retire_read(slot);
+      if (probe_ != nullptr) probe_->on_read_finished(t, node, bytes, false);
     }
     waiting_[node].clear();
     for (auto& cb : failures) cb(t);

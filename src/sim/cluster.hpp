@@ -46,6 +46,26 @@ struct ClusterParams {
   std::uint32_t max_concurrent_serves = 0;
 };
 
+/// Read-lifecycle observer. The cluster stays metric-blind (DESIGN.md §8):
+/// it only reports state transitions; translating them into time series is
+/// the obs layer's job (obs::ClusterTimelineProbe). Callbacks fire *after*
+/// the cluster's own accounting updated, so a probe may read the public
+/// accessors (inflight_per_node(), read_slot_count(), ...) for the
+/// post-transition state.
+class ClusterProbe {
+ public:
+  virtual ~ClusterProbe() = default;
+
+  /// A read for `bytes` on `server` entered the in-flight set (admission
+  /// queueing included — the request occupies the node either way).
+  virtual void on_read_issued(Seconds now, dfs::NodeId server, Bytes bytes) = 0;
+
+  /// A previously issued read left the in-flight set: `completed` is true
+  /// for a normal completion, false when a node failure aborted it.
+  virtual void on_read_finished(Seconds now, dfs::NodeId server, Bytes bytes,
+                                bool completed) = 0;
+};
+
 /// Simulated cluster of `node_count` identical nodes.
 class Cluster {
  public:
@@ -143,6 +163,10 @@ class Cluster {
   /// number of reads issued.
   std::uint32_t read_slot_count() const { return static_cast<std::uint32_t>(read_pool_.size()); }
 
+  /// Attach (or with nullptr, detach) a read-lifecycle probe. Borrowed; must
+  /// outlive the cluster or be detached first. At most one at a time.
+  void set_probe(ClusterProbe* probe) { probe_ = probe; }
+
  private:
   /// Internal read handle: low 32 bits address a reusable slot in
   /// `read_pool_`, high 32 bits carry the generation tag that makes handles
@@ -168,6 +192,7 @@ class Cluster {
 
   std::uint32_t node_count_;
   ClusterParams params_;
+  ClusterProbe* probe_ = nullptr;
   FlowSimulator sim_;
   std::vector<ResourceId> disk_, nic_in_, nic_out_;
   std::vector<dfs::RackId> rack_of_node_;

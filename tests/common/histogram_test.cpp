@@ -59,5 +59,34 @@ TEST(Histogram, BoundaryValueGoesToUpperBin) {
   EXPECT_EQ(h.count(1), 1u);
 }
 
+TEST(Histogram, EveryInteriorEdgeIsLowerInclusive) {
+  // Bins are [lo, hi): a sample exactly on edge k belongs to bin k, for
+  // every interior edge, not just the first.
+  Histogram h(0.0, 10.0, 10);
+  for (int edge = 1; edge <= 9; ++edge) h.add(static_cast<double>(edge));
+  for (std::size_t bin = 1; bin <= 9; ++bin) EXPECT_EQ(h.count(bin), 1u) << bin;
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Histogram, RangeEndpointsClampIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // lo lands in the first bin
+  h.add(10.0);  // hi is outside [lo, hi) but clamps into the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, NonZeroOriginKeepsEdgeSemantics) {
+  // The edge rule must survive an offset range: with [2, 4) over 4 bins the
+  // width is 0.5 and 3.0 sits exactly on the 1/2 edge -> bin 2.
+  Histogram h(2.0, 4.0, 4);
+  h.add(3.0);
+  h.add(2.5);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
 }  // namespace
 }  // namespace opass

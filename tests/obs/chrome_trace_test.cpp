@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 #include "exp/experiment.hpp"
@@ -49,8 +50,11 @@ TEST(ChromeTrace, RoundTripsARecordedExecutorRun) {
 
   const std::string json = builder.json();
   EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), builder.event_count());
-  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 1u);
-  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"process_sort_index\""), 1u);
+  // One thread_sort_index metadata event per (pid, tid) track.
+  EXPECT_EQ(count_occurrences(json, "\"thread_sort_index\""),
+            raw.process_finish_time.size());
   EXPECT_NE(json.find("\"cat\": \"read\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"task\""), std::string::npos);
   // Negative numbers may only appear inside args (never in ts/dur).
@@ -77,7 +81,44 @@ TEST(ChromeTrace, DistinctPidsKeepMethodsSeparate) {
   const std::string json = builder.json();
   EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
-  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 2u);
+}
+
+TEST(ChromeTrace, RepeatedProcessNamesDeduplicate) {
+  ChromeTraceBuilder builder;
+  builder.set_process_name(0, "first");
+  builder.set_process_name(0, "second");
+  builder.set_process_name(0, "final");
+  const std::string json = builder.json();
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 1u);
+  EXPECT_EQ(json.find("first"), std::string::npos);
+  EXPECT_NE(json.find("final"), std::string::npos);
+}
+
+TEST(ChromeTrace, MetadataEmitsSortedByPid) {
+  ChromeTraceBuilder builder;
+  builder.set_process_name(7, "late");
+  builder.set_process_name(2, "early");
+  const std::string json = builder.json();
+  const std::size_t early = json.find("\"pid\": 2");
+  const std::size_t late = json.find("\"pid\": 7");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+  EXPECT_EQ(count_occurrences(json, "\"process_sort_index\""), 2u);
+}
+
+TEST(ChromeTrace, CounterEventsRenderWithoutDurations) {
+  ChromeTraceBuilder builder;
+  builder.add_counter(0, "timeline.cluster.inflight", 0.0, 3);
+  builder.add_counter(0, "timeline.cluster.inflight", 500000.0, 1.5);
+  EXPECT_EQ(builder.event_count(), 2u);
+  const std::string json = builder.json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"C\""), 2u);
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 1.5}"), std::string::npos);
+  EXPECT_THROW(builder.add_counter(0, "timeline.cluster.inflight", -1.0, 0),
+               std::invalid_argument);
 }
 
 TEST(ChromeTrace, ConvenienceWrapperMatchesBuilder) {

@@ -153,6 +153,24 @@ TEST(MetricsIo, FormatDoubleNormalizesNegativeZero) {
   EXPECT_EQ(format_double(0.25), "0.25");
 }
 
+TEST(MetricsIo, CsvQuotesAdversarialLabels) {
+  // RFC 4180: a name with commas, quotes or newlines must not shift columns
+  // or break row framing when the CSV is read back.
+  MetricsRegistry reg;
+  reg.counter_add("plain.name", 1);
+  reg.counter_add("comma,in,name", 2);
+  reg.counter_add("say \"hi\"", 3);
+  reg.counter_add("line\nbreak", 4);
+  const std::string csv = to_csv(reg);
+  EXPECT_NE(csv.find("plain.name,counter,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"comma,in,name\",counter,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\",counter,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\",counter,4\n"), std::string::npos);
+  // Unquoted adversarial forms must not appear.
+  EXPECT_EQ(csv.find("\ncomma,in,name,"), std::string::npos);
+  EXPECT_EQ(csv.find("\nsay \"hi\","), std::string::npos);
+}
+
 // --- phase timers -----------------------------------------------------------
 
 TEST(PhaseTimers, RecordPhaseWritesDeterministicGauge) {

@@ -1,0 +1,109 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace opass::obs {
+namespace {
+
+/// Record one seeded run and build its MethodReport against `recorder`.
+MethodReport record_method(TimelineRecorder& recorder, exp::Method method,
+                           std::uint64_t seed = 42) {
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 8;
+  cfg.seed = seed;
+  cfg.timeline = &recorder;
+  runtime::ExecutionResult raw;
+  cfg.raw = &raw;
+  const exp::RunOutput out = exp::run_single_data(cfg, /*chunk_count=*/40, method);
+  MethodReport mr;
+  mr.name = exp::method_name(method);
+  mr.timeline = &recorder;
+  mr.analytics = analyze_execution(raw, cfg.nodes);
+  mr.makespan = out.makespan;
+  mr.local_fraction = out.local_fraction;
+  return mr;
+}
+
+ReportBuilder both_methods(TimelineRecorder& base, TimelineRecorder& opass) {
+  ReportBuilder builder;
+  builder.add_method(record_method(base, exp::Method::kBaseline));
+  builder.add_method(record_method(opass, exp::Method::kOpass));
+  return builder;
+}
+
+TEST(Report, HtmlCarriesChartsAndSummariesForBothMethods) {
+  TimelineRecorder base, opass;
+  const ReportBuilder builder = both_methods(base, opass);
+  const std::string html = builder.html();
+  for (const char* method : {"baseline", "opass"}) {
+    for (const char* chart : {"serve-bytes", "queue-depth", "bytes-remaining"}) {
+      const std::string id =
+          "id=\"chart-" + std::string(method) + "-" + chart + "\"";
+      EXPECT_NE(html.find(id), std::string::npos) << id;
+    }
+  }
+  EXPECT_NE(html.find("<polyline"), std::string::npos);
+  EXPECT_NE(html.find("degree of imbalance"), std::string::npos);
+  // Self-contained: no external references.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+}
+
+TEST(Report, ArtifactsAreByteDeterministic) {
+  TimelineRecorder a1, a2, b1, b2;
+  const ReportBuilder first = both_methods(a1, b1);
+  const ReportBuilder second = both_methods(a2, b2);
+  EXPECT_EQ(first.html(), second.html());
+  EXPECT_EQ(first.timeline_json(), second.timeline_json());
+}
+
+TEST(Report, TimelineJsonCarriesAnalyticsAndSeries) {
+  TimelineRecorder base, opass;
+  const std::string json = both_methods(base, opass).timeline_json();
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"baseline\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"opass\""), std::string::npos);
+  EXPECT_NE(json.find("\"degree_of_imbalance\""), std::string::npos);
+  EXPECT_NE(json.find("\"straggler_nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeline.cluster.serve_bytes_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeline.executor.queue_depth\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Report, RejectsBadMethodReports) {
+  ReportBuilder builder;
+  TimelineRecorder recorder;
+  MethodReport mr;
+  mr.name = "Has Spaces";
+  mr.timeline = &recorder;
+  EXPECT_THROW(builder.add_method(mr), std::invalid_argument);
+  mr.name = "fresh";
+  EXPECT_THROW(builder.add_method(mr), std::invalid_argument);  // not finished
+  recorder.finish(1.0);
+  builder.add_method(mr);
+  EXPECT_THROW(builder.add_method(mr), std::invalid_argument);  // duplicate
+  EXPECT_EQ(builder.method_count(), 1u);
+}
+
+TEST(Report, TimelineCountersExportClusterWideSeriesOnly) {
+  TimelineRecorder base, opass;
+  both_methods(base, opass);
+  ChromeTraceBuilder trace;
+  add_timeline_counters(trace, base, /*pid=*/0);
+  const std::string json = trace.json();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("timeline.cluster.serve_bytes_per_s"), std::string::npos);
+  EXPECT_NE(json.find("timeline.cluster.bytes_remaining"), std::string::npos);
+  // Per-node and per-process series stay out of the counter tracks.
+  EXPECT_EQ(json.find("timeline.cluster.node."), std::string::npos);
+  EXPECT_EQ(json.find("timeline.executor.process."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opass::obs

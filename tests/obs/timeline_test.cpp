@@ -1,0 +1,191 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace opass::obs {
+namespace {
+
+TimelineRecorder::Options options(Seconds interval, std::size_t capacity = 8192) {
+  TimelineRecorder::Options opt;
+  opt.interval = interval;
+  opt.capacity = capacity;
+  return opt;
+}
+
+TEST(TimelineName, EnforcesTheTaxonomy) {
+  EXPECT_TRUE(valid_timeline_series_name("timeline.cluster.inflight"));
+  EXPECT_TRUE(valid_timeline_series_name("timeline.cluster.node.3.serve_bytes_per_s"));
+  EXPECT_FALSE(valid_timeline_series_name("timeline.cluster"));       // two segments
+  EXPECT_FALSE(valid_timeline_series_name("metrics.cluster.x"));      // wrong root
+  EXPECT_FALSE(valid_timeline_series_name("timeline.Cluster.x"));     // uppercase
+  EXPECT_FALSE(valid_timeline_series_name("timeline..x"));            // empty segment
+  EXPECT_FALSE(valid_timeline_series_name("timeline.cluster.x."));    // trailing dot
+  EXPECT_FALSE(valid_timeline_series_name("timeline.clu ster.x"));    // space
+}
+
+TEST(TimelineRecorder, RejectsBadNamesAndDuplicates) {
+  TimelineRecorder t(options(1.0));
+  EXPECT_THROW(t.add_level_series("queue_depth"), std::invalid_argument);
+  EXPECT_THROW(t.add_rate_series("timeline.serve"), std::invalid_argument);
+  t.add_level_series("timeline.test.depth");
+  EXPECT_THROW(t.add_level_series("timeline.test.depth"), std::invalid_argument);
+}
+
+TEST(TimelineRecorder, LevelsRepeatAcrossEmptyIntervals) {
+  TimelineRecorder t(options(1.0));
+  const auto id = t.add_level_series("timeline.test.depth", /*initial=*/2);
+  t.record_level(id, 2.5, 7);
+  t.finish(5.0);
+  // Boundaries 0,1,2 sample the initial value (the t=2.5 event lands after
+  // boundary 2); boundaries 3,4,5 see the new level.
+  EXPECT_EQ(t.series_values(id), (std::vector<double>{2, 2, 2, 7, 7, 7}));
+  EXPECT_EQ(t.partial_duration(), 0.0);
+}
+
+TEST(TimelineRecorder, EventExactlyOnABoundaryChargesTheNextInterval) {
+  TimelineRecorder t(options(1.0));
+  const auto level = t.add_level_series("timeline.test.depth");
+  const auto rate = t.add_rate_series("timeline.test.bytes_per_s");
+  t.record_level(level, 2.0, 5);  // exactly on boundary 2
+  t.record_rate(rate, 2.0, 10);
+  t.finish(3.5);
+  // Boundary 2 is emitted with the pre-event state; the event shows at 3.
+  EXPECT_EQ(t.series_values(level), (std::vector<double>{0, 0, 0, 5, 5}));
+  EXPECT_EQ(t.series_values(rate), (std::vector<double>{0, 0, 0, 10, 0}));
+}
+
+TEST(TimelineRecorder, RatesConvertToPerSecond) {
+  TimelineRecorder t(options(0.5));
+  const auto id = t.add_rate_series("timeline.test.bytes_per_s");
+  t.record_rate(id, 0.1, 30);
+  t.record_rate(id, 0.4, 20);
+  t.record_rate(id, 0.7, 5);
+  t.finish(1.0);
+  // Interval (0, 0.5] carries 50 units -> 100/s at boundary 1; (0.5, 1.0]
+  // carries 5 -> 10/s folded into the final boundary (end lands on it).
+  EXPECT_EQ(t.series_values(id), (std::vector<double>{0, 100, 10}));
+}
+
+TEST(TimelineRecorder, FinishInsideAnIntervalEmitsAScaledPartialSample) {
+  TimelineRecorder t(options(1.0));
+  const auto rate = t.add_rate_series("timeline.test.bytes_per_s");
+  const auto level = t.add_level_series("timeline.test.depth");
+  t.record_rate(rate, 2.25, 10);
+  t.record_level(level, 2.25, 4);
+  t.finish(2.5);
+  // The open remainder (2, 2.5] is half an interval: 10 units over 0.5 s.
+  EXPECT_DOUBLE_EQ(t.partial_duration(), 0.5);
+  EXPECT_EQ(t.series_values(rate), (std::vector<double>{0, 0, 0, 20}));
+  EXPECT_EQ(t.series_values(level), (std::vector<double>{0, 0, 0, 4}));
+  EXPECT_DOUBLE_EQ(t.end_time(), 2.5);
+}
+
+TEST(TimelineRecorder, SamplesExactlyOnTheEndTime) {
+  // End exactly on a boundary: no partial sample, and events stamped at the
+  // end restamp the final boundary instead of vanishing into a never-emitted
+  // next interval.
+  TimelineRecorder t(options(1.0));
+  const auto rate = t.add_rate_series("timeline.test.bytes_per_s");
+  const auto level = t.add_level_series("timeline.test.depth", /*initial=*/1);
+  t.record_rate(rate, 3.0, 6);   // the run's final completions
+  t.record_level(level, 3.0, 0);
+  t.finish(3.0);
+  EXPECT_EQ(t.partial_duration(), 0.0);
+  EXPECT_EQ(t.tick_count(), 4u);  // boundaries 0..3
+  EXPECT_EQ(t.series_values(rate), (std::vector<double>{0, 0, 0, 6}));
+  EXPECT_EQ(t.series_values(level), (std::vector<double>{1, 1, 1, 0}));
+}
+
+TEST(TimelineRecorder, FinishIsFinal) {
+  TimelineRecorder t(options(1.0));
+  const auto id = t.add_level_series("timeline.test.depth");
+  t.finish(1.0);
+  EXPECT_TRUE(t.finished());
+  EXPECT_THROW(t.record_level(id, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(t.finish(2.0), std::invalid_argument);
+  EXPECT_THROW(t.add_level_series("timeline.test.late"), std::invalid_argument);
+}
+
+TEST(TimelineRecorder, RingWrapKeepsTheNewestTicks) {
+  TimelineRecorder t(options(1.0, /*capacity=*/4));
+  const auto id = t.add_level_series("timeline.test.depth");
+  for (int k = 1; k <= 10; ++k)
+    t.record_level(id, static_cast<double>(k), k);  // boundary k samples k-1
+  t.finish(10.0);
+  EXPECT_EQ(t.tick_count(), 11u);
+  EXPECT_EQ(t.dropped_ticks(), 7u);
+  EXPECT_EQ(t.first_retained_tick(), 7u);
+  // Ticks 7..10 survive; the end-on-boundary restamp lifts tick 10 to the
+  // final level.
+  EXPECT_EQ(t.series_values(id), (std::vector<double>{6, 7, 8, 10}));
+}
+
+TEST(TimelineProbes, RecordAFullRunEndToEnd) {
+  TimelineRecorder recorder(options(0.5));
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 8;
+  cfg.seed = 42;
+  cfg.timeline = &recorder;
+  runtime::ExecutionResult raw;
+  cfg.raw = &raw;
+  const auto out = exp::run_single_data(cfg, /*chunk_count=*/40, exp::Method::kOpass);
+
+  ASSERT_TRUE(recorder.finished());
+  EXPECT_DOUBLE_EQ(recorder.end_time(), out.makespan);
+
+  // Per-node serve-rate integral over the samples reproduces the trace's
+  // total served bytes (rates are bytes/s, boundary samples span interval
+  // seconds, the trailing sample its partial duration).
+  const std::vector<Bytes> served = raw.trace.bytes_served_per_node(cfg.nodes);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    TimelineRecorder::SeriesId id = UINT32_MAX;
+    const std::string name =
+        "timeline.cluster.node." + std::to_string(n) + ".serve_bytes_per_s";
+    for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+      if (recorder.series_name(s) == name) id = s;
+    ASSERT_NE(id, UINT32_MAX) << name;
+    const std::vector<double> values = recorder.series_values(id);
+    double integral = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const bool partial_tail =
+          recorder.partial_duration() > 0 && i + 1 == values.size();
+      integral += values[i] * (partial_tail ? recorder.partial_duration()
+                                            : recorder.interval());
+    }
+    EXPECT_NEAR(integral, static_cast<double>(served[n]), 1.0) << name;
+  }
+
+  // In-flight reads and queue depth both drain to zero at the end.
+  for (const char* name : {"timeline.cluster.inflight", "timeline.executor.queue_depth",
+                           "timeline.cluster.bytes_remaining"}) {
+    TimelineRecorder::SeriesId id = UINT32_MAX;
+    for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+      if (recorder.series_name(s) == name) id = s;
+    ASSERT_NE(id, UINT32_MAX) << name;
+    EXPECT_EQ(recorder.series_values(id).back(), 0.0) << name;
+  }
+}
+
+TEST(TimelineProbes, RecordedRunsAreDeterministic) {
+  const auto run = [] {
+    TimelineRecorder recorder(options(0.5));
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 8;
+    cfg.seed = 7;
+    cfg.timeline = &recorder;
+    exp::run_single_data(cfg, /*chunk_count=*/40, exp::Method::kBaseline);
+    std::vector<std::vector<double>> all;
+    for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+      all.push_back(recorder.series_values(s));
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace opass::obs

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold=20]
+                           [--gate NAME:PCT ...]
 
 Both files must be BENCH_planner.json / BENCH_executor.json reports (schema 1)
 from the same harness. Scenarios are matched by name; scenarios present in
@@ -13,11 +14,16 @@ exit code is 1 when any current time exceeds the baseline by more than
 must hold in the current report regardless of timing.
 
 Embedded observability metrics (the nested "metrics" objects the harnesses
-emit per scenario / per solver) are diffed informationally: numeric drift is
-printed but never fails the comparison — wall times drift with the host,
-and counters only change when behaviour changes, which the tier-1 tests gate.
-Fields this script does not recognise are reported as warnings so schema
-growth is always visible in CI logs.
+emit per scenario / per solver) are diffed informationally by default:
+numeric drift is printed but never fails the comparison — wall times drift
+with the host, and counters only change when behaviour changes, which the
+tier-1 tests gate. Specific metrics can be promoted to hard gates with the
+repeatable --gate option: `--gate metrics.degree_of_imbalance:10` fails the
+comparison when the current value exceeds the baseline by more than 10% (a
+baseline of 0 fails on any increase). Gated metrics are host-independent
+simulation outputs, so a tight percentage is safe. Fields this script does
+not recognise are reported as warnings so schema growth is always visible in
+CI logs.
 """
 
 from __future__ import annotations
@@ -88,12 +94,28 @@ def correctness_failures(scenario: dict) -> list[str]:
     return bad
 
 
+def parse_gate(spec: str) -> tuple[str, float]:
+    """Parse a NAME:PCT gate spec, e.g. 'metrics.degree_of_imbalance:10'."""
+    name, sep, pct = spec.rpartition(":")
+    try:
+        if not sep or not name:
+            raise ValueError
+        return name, float(pct)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"gate {spec!r} is not NAME:PCT (e.g. metrics.degree_of_imbalance:10)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="max allowed wall-time regression in percent")
+    parser.add_argument("--gate", type=parse_gate, action="append", default=[],
+                        metavar="NAME:PCT",
+                        help="fail when embedded metric NAME exceeds the "
+                             "baseline by more than PCT percent (repeatable)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -130,13 +152,25 @@ def main() -> int:
                 failures.append(f"{name}: {metric} {b:.3f} -> {c:.3f} ms (+{delta:.1f}%)")
             print(f"  {name}: {metric} {b:.3f} -> {c:.3f} ms ({delta:+.1f}%) {verdict}")
 
-        # Informational: embedded observability metrics. Drift here never
-        # fails the comparison, but changed counters are worth seeing.
+        # Embedded observability metrics: informational by default, hard
+        # failures for metrics promoted with --gate.
         base_metrics = metric_values(base_by_name[name])
         curr_metrics = metric_values(curr_by_name[name])
         for metric in sorted(base_metrics.keys() & curr_metrics.keys()):
             b, c = base_metrics[metric], curr_metrics[metric]
-            if b != c:
+            gate_pct = next((pct for gate_name, pct in args.gate
+                             if metric == gate_name
+                             or metric.endswith("." + gate_name)), None)
+            if gate_pct is not None:
+                allowed = b * (1.0 + gate_pct / 100.0)
+                if c > allowed:
+                    failures.append(
+                        f"{name}: {metric} {b:g} -> {c:g} "
+                        f"(gate: at most +{gate_pct:g}%)")
+                    print(f"  {name}: {metric} {b:g} -> {c:g} GATED REGRESSION")
+                else:
+                    print(f"  {name}: {metric} {b:g} -> {c:g} ok (gated)")
+            elif b != c:
                 print(f"  {name}: {metric} {b:g} -> {c:g} (informational)")
         for metric in sorted(curr_metrics.keys() - base_metrics.keys()):
             print(f"  {name}: {metric} new metric (no baseline)")

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate a run report pair (HTML + timeline JSON) written by opass_cli.
+
+Usage:
+    tools/check_report.py REPORT.html TIMELINE.json
+
+Checks, in order:
+  1. the timeline JSON parses, has schema 1, and carries both methods
+     ("baseline" and "opass") with non-empty sampled series;
+  2. every method exposes the cluster serve-rate and executor queue-depth
+     series plus serve-bytes imbalance analytics;
+  3. the Opass method's serve-bytes degree of imbalance is strictly lower
+     than the baseline's (the paper's core claim, Figs. 2-3);
+  4. the HTML embeds a serve-bytes and a queue-depth chart for each method
+     and references no external resources (self-contained artifact).
+
+Exit code 0 when the report is valid, 1 otherwise. Used by the
+`cli_report_valid` ctest entry and the CI bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_SERIES = (
+    "timeline.cluster.serve_bytes_per_s",
+    "timeline.executor.queue_depth",
+)
+REQUIRED_CHARTS = ("serve-bytes", "queue-depth")
+
+
+def validate(html_path: str, json_path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(json_path, encoding="utf-8") as fh:
+            timeline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse {json_path}: {exc}"]
+
+    if not isinstance(timeline, dict) or timeline.get("schema") != 1:
+        return [f"{json_path}: expected a schema-1 timeline object"]
+
+    methods = {m.get("name"): m for m in timeline.get("methods", [])}
+    for name in ("baseline", "opass"):
+        method = methods.get(name)
+        if method is None:
+            errors.append(f"{json_path}: method '{name}' missing")
+            continue
+        series = {s.get("name"): s for s in method.get("series", [])}
+        for required in REQUIRED_SERIES:
+            values = series.get(required, {}).get("values")
+            if not values:
+                errors.append(f"{json_path}: {name} lacks samples for {required}")
+        analytics = method.get("analytics", {})
+        if "degree_of_imbalance" not in analytics.get("serve_bytes", {}):
+            errors.append(f"{json_path}: {name} lacks serve-bytes imbalance analytics")
+
+    if not errors:
+        base_doi = methods["baseline"]["analytics"]["serve_bytes"]["degree_of_imbalance"]
+        opass_doi = methods["opass"]["analytics"]["serve_bytes"]["degree_of_imbalance"]
+        if not opass_doi < base_doi:
+            errors.append(
+                f"{json_path}: opass degree of imbalance {opass_doi} is not "
+                f"strictly below baseline {base_doi}"
+            )
+
+    try:
+        with open(html_path, encoding="utf-8") as fh:
+            html = fh.read()
+    except OSError as exc:
+        errors.append(f"cannot read {html_path}: {exc}")
+        return errors
+
+    for name in ("baseline", "opass"):
+        for chart in REQUIRED_CHARTS:
+            marker = f'id="chart-{name}-{chart}"'
+            if marker not in html:
+                errors.append(f"{html_path}: missing {marker}")
+    for external in ("http://", "https://", "<script"):
+        if external in html:
+            errors.append(f"{html_path}: not self-contained (found {external!r})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = validate(argv[1], argv[2])
+    for err in errors:
+        print(f"check_report: {err}")
+    if errors:
+        return 1
+    print(f"check_report: {argv[1]} + {argv[2]} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,6 +28,13 @@ Rules (all scoped to src/ unless noted):
   nodiscard-status  src/obs/ headers only: every `struct FooStatus` must be
                     declared `struct [[nodiscard]] Foo...` — an ignored
                     exporter status silently swallows an I/O failure.
+  timeline-metric-name
+                    String literals starting with "timeline." must follow the
+                    series taxonomy `timeline.<subsystem>.<metric>` — at least
+                    three dot-separated [a-z0-9_]+ segments — or be a prefix
+                    form ending in "." (used to splice in a node/process id).
+                    A malformed literal would pass compilation but throw at
+                    recorder registration or silently miss exporter filters.
   pq-top-copy       No by-value initialization from `.top()`:
                     `auto fn = q.top();` (or a `std::function<...>` copy of
                     `.top().fn`) deep-copies the element — and since
@@ -106,6 +113,12 @@ PLAIN_PLAN_STRUCT = re.compile(r"\bstruct\s+(\w+(?:Plan|Result))\b")
 # Same mechanics for exporter status types in src/obs/: `struct FooStatus`
 # matches, `struct [[nodiscard]] FooStatus` does not.
 PLAIN_STATUS_STRUCT = re.compile(r"\bstruct\s+(\w+Status)\b")
+# Any string literal whose content starts with "timeline." — candidates for
+# the series-name taxonomy check. The two compliant shapes are checked
+# against the literal's content afterwards.
+TIMELINE_LITERAL = re.compile(r'"(timeline\.[^"\n]*)"')
+TIMELINE_FULL_NAME = re.compile(r"timeline\.[a-z0-9_]+(?:\.[a-z0-9_]+)+")
+TIMELINE_PREFIX = re.compile(r"timeline\.(?:[a-z0-9_]+\.)*")
 # A by-value declaration initialized from `.top()`: `auto fn = q.top();`,
 # `std::function<void()> fn = q.top().fn;`. Reference bindings don't match —
 # `auto` / `std::function<...>` must be directly followed by the identifier,
@@ -202,6 +215,21 @@ def check_nodiscard_plan(path: pathlib.Path, src_root: pathlib.Path, text: str, 
                     "types must not be silently dropped"))
 
 
+def check_timeline_metric_name(path: pathlib.Path, text: str, findings: list):
+    for m in TIMELINE_LITERAL.finditer(scrub(text, keep_strings=True)):
+        name = m.group(1)
+        if name.endswith("."):
+            if TIMELINE_PREFIX.fullmatch(name):
+                continue
+        elif TIMELINE_FULL_NAME.fullmatch(name):
+            continue
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "timeline-metric-name",
+                    f'"{name}" breaks the timeline.<subsystem>.<metric> '
+                    "taxonomy (>= 3 dot-separated [a-z0-9_]+ segments, or a "
+                    "splice prefix ending in '.')"))
+
+
 def check_pq_top_copy(path: pathlib.Path, text: str, findings: list):
     for m in PQ_TOP_COPY.finditer(scrub(text)):
         findings.append(
@@ -240,6 +268,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_options_last(path, src_root, text, findings)
         check_nodiscard_plan(path, src_root, text, findings)
         check_nodiscard_status(path, src_root, text, findings)
+        check_timeline_metric_name(path, text, findings)
         check_pq_top_copy(path, text, findings)
     return findings
 
@@ -265,6 +294,12 @@ _VIOLATIONS = {
     "nodiscard-status": (
         "obs/bad_status.hpp",
         "#pragma once\nstruct BadStatus { bool ok = true; };\n",
+    ),
+    "timeline-metric-name": (
+        "obs/bad_series_name.cpp",
+        "#include <string>\n"
+        "// Two segments only, and uppercase — both break the taxonomy.\n"
+        "const std::string kBad = \"timeline.ServeBytes\";\n",
     ),
     "pq-top-copy": (
         "bad_top_copy.cpp",
@@ -298,6 +333,17 @@ _CLEANS = (
         "#pragma once\n"
         "struct [[nodiscard]] GoodStatus { bool ok = true; };\n"
         "GoodStatus write_something(int x);\n",
+    ),
+    (
+        # Compliant series-name spellings timeline-metric-name must NOT flag:
+        # a full 3-segment name, a deeper name, and a splice prefix.
+        "obs/clean_series_name.cpp",
+        "#include <string>\n"
+        "const std::string kRate = \"timeline.cluster.serve_bytes_per_s\";\n"
+        "const std::string kDepth = \"timeline.executor.process.0.depth\";\n"
+        "std::string per_node(int n) {\n"
+        "  return \"timeline.cluster.node.\" + std::to_string(n);\n"
+        "}\n",
     ),
     (
         # Reference bindings from .top() are the compliant spelling pq-top-copy

@@ -1,10 +1,10 @@
-#include "analysis/assignment_model.hpp"
+#include "opass/assignment_model.hpp"
 
 #include <algorithm>
 
 #include "common/require.hpp"
 
-namespace opass::analysis {
+namespace opass::core {
 
 std::vector<double> expected_bytes_served(const dfs::NameNode& nn,
                                           const std::vector<runtime::Task>& tasks,
@@ -53,4 +53,4 @@ Seconds makespan_lower_bound(const dfs::NameNode& nn,
   return std::max(hottest, reader_max) / disk_bandwidth;
 }
 
-}  // namespace opass::analysis
+}  // namespace opass::core

@@ -15,7 +15,7 @@
 #include "runtime/static_partitioner.hpp"
 #include "runtime/task.hpp"
 
-namespace opass::analysis {
+namespace opass::core {
 
 /// Expected bytes served by each node under local preference + uniform
 /// remote replica choice: a chunk whose assigned process is co-located is
@@ -38,4 +38,4 @@ Seconds makespan_lower_bound(const dfs::NameNode& nn,
                              const std::vector<dfs::NodeId>& placement,
                              BytesPerSec disk_bandwidth);
 
-}  // namespace opass::analysis
+}  // namespace opass::core

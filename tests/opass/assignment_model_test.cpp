@@ -1,4 +1,4 @@
-#include "analysis/assignment_model.hpp"
+#include "opass/assignment_model.hpp"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include "runtime/task_source.hpp"
 #include "workload/dataset.hpp"
 
-namespace opass::analysis {
+namespace opass::core {
 namespace {
 
 struct AssignmentModelFixture : ::testing::Test {
@@ -121,4 +121,4 @@ TEST_F(AssignmentModelFixture, Validation) {
 }
 
 }  // namespace
-}  // namespace opass::analysis
+}  // namespace opass::core

@@ -1,0 +1,115 @@
+"""opass_cpp — the shared C++ source lexer/scrubber for the project linters.
+
+Both tools/opass_lint.py (textual hygiene rules) and tools/opass_analyze.py
+(include-graph layering, shared-mutable-state audit, unordered-iteration
+determinism) work on *scrubbed* source text: comments and — optionally —
+string/char literals blanked out with spaces so that byte offsets and line
+numbers still match the original file. This module owns that scrubbing, the
+common Finding type, source-tree enumeration, and the inline-suppression
+syntax honored by every pass:
+
+    foo();  // opass-lint: allow(rule-name)          suppresses on this line
+    // opass-lint: allow(rule-a, rule-b)             suppresses the next line
+
+A suppression names the exact rule(s) it silences; there is no wildcard —
+a blanket "allow everything" marker would rot silently as new rules land.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+# --- source scrubbing -------------------------------------------------------
+
+_COMMENT_OR_STRING = re.compile(
+    r"""
+      //[^\n]*                     # line comment
+    | /\*.*?\*/                    # block comment
+    | "(?:\\.|[^"\\\n])*"          # string literal
+    | '(?:\\.|[^'\\\n])*'          # char literal
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+_COMMENT_ONLY = re.compile(
+    r"""
+      //[^\n]*                     # line comment
+    | /\*.*?\*/                    # block comment
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+def scrub(text: str, keep_strings: bool = False) -> str:
+    """Blank out comments (and, by default, literals), preserving line
+    structure. `keep_strings` leaves literals intact — needed to see quoted
+    #include paths."""
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    pattern = _COMMENT_ONLY if keep_strings else _COMMENT_OR_STRING
+    return pattern.sub(blank, text)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of a byte offset into `text`."""
+    return text.count("\n", 0, offset) + 1
+
+
+# --- findings ---------------------------------------------------------------
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- inline suppressions ----------------------------------------------------
+
+_SUPPRESS = re.compile(r"//\s*opass-lint:\s*allow\(([^)]*)\)")
+
+
+def suppressions(text: str) -> dict:
+    """Map line number -> set of rule names suppressed on that line.
+
+    The marker lives in a comment, so it is parsed from the *raw* text (the
+    scrubbed text has comments blanked). A marker on a line of its own
+    covers the following line; a trailing marker covers its own line. Both
+    registrations are made for every marker — covering a line that has no
+    finding is harmless.
+    """
+    out: dict = {}
+    for m in _SUPPRESS.finditer(text):
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        if not rules:
+            continue
+        line = line_of(text, m.start())
+        for covered in (line, line + 1):
+            out.setdefault(covered, set()).update(rules)
+    return out
+
+
+def apply_suppressions(findings: list, texts: dict) -> list:
+    """Drop findings whose (file, line) carries an `opass-lint: allow(rule)`
+    marker for that finding's rule. `texts` maps path -> raw file text."""
+    kept = []
+    cache: dict = {}
+    for f in findings:
+        if f.path not in cache:
+            text = texts.get(f.path)
+            cache[f.path] = suppressions(text) if text is not None else {}
+        if f.rule in cache[f.path].get(f.line, ()):  # suppressed in source
+            continue
+        kept.append(f)
+    return kept
+
+
+# --- tree enumeration -------------------------------------------------------
+
+def source_files(src_root: pathlib.Path, suffixes=(".hpp", ".cpp")) -> list:
+    """All C++ sources under `src_root`, sorted for deterministic reports."""
+    return [p for p in sorted(src_root.rglob("*")) if p.suffix in suffixes]

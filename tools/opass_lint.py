@@ -59,38 +59,10 @@ import re
 import sys
 import tempfile
 
-# --- source scrubbing -------------------------------------------------------
-
-_COMMENT_OR_STRING = re.compile(
-    r"""
-      //[^\n]*                     # line comment
-    | /\*.*?\*/                    # block comment
-    | "(?:\\.|[^"\\\n])*"          # string literal
-    | '(?:\\.|[^'\\\n])*'          # char literal
-    """,
-    re.DOTALL | re.VERBOSE,
-)
-
-_COMMENT_ONLY = re.compile(
-    r"""
-      //[^\n]*                     # line comment
-    | /\*.*?\*/                    # block comment
-    """,
-    re.DOTALL | re.VERBOSE,
-)
-
-
-def scrub(text: str, keep_strings: bool = False) -> str:
-    """Blank out comments (and, by default, literals), preserving line
-    structure. `keep_strings` leaves literals intact — needed to see quoted
-    #include paths."""
-
-    def blank(m: re.Match) -> str:
-        return re.sub(r"[^\n]", " ", m.group(0))
-
-    pattern = _COMMENT_ONLY if keep_strings else _COMMENT_OR_STRING
-    return pattern.sub(blank, text)
-
+# The C++ scrubber, the Finding type, and the inline-suppression syntax are
+# shared with tools/opass_analyze.py (see tools/opass_cpp.py).
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from opass_cpp import Finding, apply_suppressions, scrub  # noqa: E402
 
 # --- rules ------------------------------------------------------------------
 
@@ -127,14 +99,6 @@ TIMELINE_PREFIX = re.compile(r"timeline\.(?:[a-z0-9_]+\.)*")
 # priority_queue::top() returns a const reference and the "move" still copies.
 PQ_TOP_COPY = re.compile(
     r"\b(?:auto|std::function\s*<[^;{}=]*>)\s+\w+\s*=\s*[^;{}\n]*\.top\s*\(\s*\)")
-
-
-class Finding:
-    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
 def _line_of(text: str, offset: int) -> int:
@@ -257,10 +221,12 @@ def lint_tree(root: pathlib.Path) -> list:
     if not src_root.is_dir():
         findings.append(Finding(root, 1, "layout", f"no src/ directory under {root}"))
         return findings
+    texts: dict = {}
     for path in sorted(src_root.rglob("*")):
         if path.suffix not in (".hpp", ".cpp"):
             continue
         text = path.read_text(encoding="utf-8")
+        texts[path] = text
         check_bare_assert(path, text, findings)
         check_nondeterminism(path, text, findings)
         check_pragma_once(path, text, findings)
@@ -270,7 +236,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_nodiscard_status(path, src_root, text, findings)
         check_timeline_metric_name(path, text, findings)
         check_pq_top_copy(path, text, findings)
-    return findings
+    return apply_suppressions(findings, texts)
 
 
 # --- self test --------------------------------------------------------------
@@ -359,6 +325,24 @@ _CLEANS = (
 )
 
 
+# Inline-suppression contract: the trailing marker on line 2 and the
+# stand-alone marker above line 5 silence those two bare asserts; the
+# unsuppressed sibling on line 7 must still be caught — a suppression must
+# never widen beyond the line it covers. The allow(nondeterminism) marker on
+# line 7 names the wrong rule, so it must not silence a bare-assert finding.
+_SUPPRESSED = (
+    "suppressed.cpp",
+    "#include <cassert>\n"
+    "void a(int x) { assert(x > 0); }  // opass-lint: allow(bare-assert)\n"
+    "\n"
+    "// opass-lint: allow(bare-assert)\n"
+    "void b(int x) { assert(x > 1); }\n"
+    "\n"
+    "void c(int x) { assert(x > 2); }  // opass-lint: allow(nondeterminism)\n",
+)
+_SUPPRESSED_CAUGHT_LINE = 7
+
+
 def self_test() -> int:
     failures = 0
     with tempfile.TemporaryDirectory(prefix="opass_lint_selftest.") as tmp:
@@ -373,8 +357,18 @@ def self_test() -> int:
             (src / name).parent.mkdir(parents=True, exist_ok=True)
             (src / name).write_text(content, encoding="utf-8")
             clean_names.add(pathlib.Path(name).name)
+        (src / _SUPPRESSED[0]).write_text(_SUPPRESSED[1], encoding="utf-8")
 
         findings = lint_tree(root)
+        suppressed_hits = sorted(
+            f.line for f in findings if f.path.name == _SUPPRESSED[0])
+        if suppressed_hits == [_SUPPRESSED_CAUGHT_LINE]:
+            print("self-test: inline suppression silences its line, sibling "
+                  "still caught")
+        else:
+            print(f"self-test: FAIL — suppression file expected a finding on "
+                  f"line {_SUPPRESSED_CAUGHT_LINE} only, got {suppressed_hits}")
+            failures += 1
         fired = {f.rule for f in findings}
         for rule in _VIOLATIONS:
             if rule in fired:

@@ -63,7 +63,7 @@ int main() {
   }
   {
     Rng arng(5);
-    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
+    const auto plan = core::plan({&nn, &tasks, &placement, &arng});
     core::OpassDynamicSource src(plan.assignment, nn, tasks, placement);
     sim::Cluster cluster(nodes);
     Rng exec_rng(9);

@@ -39,7 +39,7 @@ Outcome run_once(bool use_opass, bool inject_failure) {
   runtime::Assignment assignment;
   if (use_opass) {
     Rng arng(3);
-    assignment = core::assign_single_data(nn, tasks, placement, arng).assignment;
+    assignment = core::plan({&nn, &tasks, &placement, &arng}).assignment;
   } else {
     assignment = runtime::rank_interval_assignment(640, nodes);
   }

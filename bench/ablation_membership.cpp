@@ -45,7 +45,7 @@ Row measure(const char* phase, dfs::NameNode& nn, const std::vector<runtime::Tas
   }
 
   Rng assign_rng(31);
-  const auto plan = core::assign_single_data(nn, tasks, placement, assign_rng);
+  const auto plan = core::plan({&nn, &tasks, &placement, &assign_rng});
 
   // execute() pins process p to node p, so we run with one process per node
   // (decommissioned ones get empty task lists via widen() below and retire

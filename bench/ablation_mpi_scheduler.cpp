@@ -57,7 +57,7 @@ int main() {
 
   for (const bool use_opass : {false, true}) {
     Rng assign_rng(3);
-    const auto plan = core::assign_single_data(nn, tasks, workers, assign_rng);
+    const auto plan = core::plan({&nn, &tasks, &workers, &assign_rng});
 
     // Oracle dispatcher (zero-cost master).
     {

@@ -82,8 +82,8 @@ void full_matching_rate() {
       Rng rng(static_cast<std::uint64_t>(per) * 1000 + static_cast<std::uint64_t>(i));
       const auto tasks = workload::make_single_data_workload(nn, m * per, policy, rng);
       const auto placement = core::one_process_per_node(nn);
-      const auto plan = core::assign_single_data(nn, tasks, placement, rng);
-      if (plan.full_matching) ++full;
+      const auto plan = core::plan({&nn, &tasks, &placement, &rng});
+      if (plan.randomly_filled == 0) ++full;
       matched += 100.0 * plan.locally_matched / static_cast<double>(tasks.size());
     }
     t.add_row({Table::integer(per), Table::integer(full) + "/" + std::to_string(layouts),

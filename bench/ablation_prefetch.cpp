@@ -47,7 +47,7 @@ int main() {
       runtime::Assignment assignment;
       if (use_opass) {
         Rng arng(5);
-        assignment = core::assign_single_data(nn, tasks, placement, arng).assignment;
+        assignment = core::plan({&nn, &tasks, &placement, &arng}).assignment;
       } else {
         assignment = runtime::rank_interval_assignment(partitions, nodes);
       }

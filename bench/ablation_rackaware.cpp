@@ -49,18 +49,20 @@ int main() {
   variants.push_back({"rank-interval", runtime::rank_interval_assignment(chunks, nodes), "-"});
   {
     Rng arng(7);
-    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
+    const auto plan = core::plan({&nn, &tasks, &placement, &arng});
     variants.push_back({"opass node-local", plan.assignment,
                         Table::integer(plan.locally_matched) + " node / 0 rack / " +
                             Table::integer(plan.randomly_filled) + " fill"});
   }
   {
     Rng arng(7);
-    const auto plan = core::assign_single_data_rack_aware(nn, tasks, placement, arng);
+    core::PlanOptions options;
+    options.planner = core::PlannerKind::kRackAware;
+    const auto plan = core::plan({&nn, &tasks, &placement, &arng}, options);
     variants.push_back({"opass rack-aware", plan.assignment,
-                        Table::integer(plan.node_local) + " node / " +
+                        Table::integer(plan.locally_matched) + " node / " +
                             Table::integer(plan.rack_local) + " rack / " +
-                            Table::integer(plan.random_filled) + " fill"});
+                            Table::integer(plan.randomly_filled) + " fill"});
   }
 
   Table t({"assignment", "phase counts", "avg I/O (s)", "off-rack reads", "makespan (s)"});

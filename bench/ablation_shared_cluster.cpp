@@ -59,10 +59,10 @@ int main() {
     const auto placement = core::one_process_per_node(nn);
     Rng assign_rng(7);
     a.assignment = a_opass
-                       ? core::assign_single_data(nn, a.tasks, placement, assign_rng).assignment
+                       ? core::plan({&nn, &a.tasks, &placement, &assign_rng}).assignment
                        : runtime::rank_interval_assignment(chunks, nodes);
     b.assignment = b_opass
-                       ? core::assign_single_data(nn, b.tasks, placement, assign_rng).assignment
+                       ? core::plan({&nn, &b.tasks, &placement, &assign_rng}).assignment
                        : runtime::rank_interval_assignment(chunks, nodes);
 
     sim::Cluster cluster(nodes);

@@ -47,7 +47,7 @@ int main() {
                                              tasks.begin() + (b + 1) * per_batch);
       runtime::Assignment assignment(nodes);
       if (use_opass) {
-        const auto plan = planner.match_batch(batch, fill_rng);
+        const auto plan = planner.match_batch(batch, fill_rng, {});
         assignment = plan.assignment;
       } else {
         for (std::uint32_t i = 0; i < per_batch; ++i)

@@ -53,13 +53,14 @@ int main() {
   {
     Rng arng(5);
     variants.push_back(
-        {"opass count-equal", core::assign_single_data(nn, tasks, placement, arng).assignment});
+        {"opass count-equal", core::plan({&nn, &tasks, &placement, &arng}).assignment});
   }
   {
     Rng arng(5);
+    core::PlanOptions options;
+    options.planner = core::PlannerKind::kWeighted;
     variants.push_back({"opass byte-equal",
-                        core::assign_single_data_weighted(nn, tasks, placement, arng)
-                            .assignment});
+                        core::plan({&nn, &tasks, &placement, &arng}, options).assignment});
   }
 
   Table t({"assignment", "local %", "byte spread (MiB)", "avg I/O (s)", "makespan (s)"});

@@ -1,0 +1,215 @@
+// perf_service — reproducible planning-service throughput benchmark.
+//
+// Replays a fixed-seed synthetic job-arrival stream through
+// core::PlannerService at several cluster sizes and emits a machine-readable
+// JSON report (BENCH_planner.json by default, joining perf_planner's
+// scenario namespace under service-* names):
+//
+//   perf_service                      # full matrix -> BENCH_planner.json
+//   perf_service --smoke              # small scenarios, fewer repeats (CI)
+//   perf_service --out=path.json
+//
+// Per scenario it measures every advance_to()/drain() call with the host
+// steady clock and attributes the call's wall time to the jobs planned in
+// it: the per-job planning latencies give P50/P99, and the sustained
+// plan-requests/sec is jobs divided by total planning wall time. The
+// repeat with the lowest total wall time is reported (same virtual trace
+// every repeat, so repeats measure the solver, not allocation churn —
+// the service's FlowWorkspace is warm after the first batch).
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "opass/opass.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace opass;
+
+struct Scenario {
+  const char* name;
+  std::uint32_t nodes;
+  std::uint32_t jobs;
+  std::uint32_t tasks_per_job;
+  std::uint32_t tenants;     ///< jobs cycle tenant = job % tenants
+  double arrival_gap_s;      ///< virtual seconds between consecutive arrivals
+  double batch_window_s;     ///< service coalescing window
+  std::uint64_t seed;
+  std::uint32_t repeats;
+  bool smoke;  ///< included in the --smoke matrix
+};
+
+constexpr Scenario kScenarios[] = {
+    {"service-64n-640t", 64, 20, 32, 4, 0.05, 0.2, 11, 9, true},
+    {"service-256n-2560t", 256, 40, 64, 4, 0.05, 0.2, 12, 5, true},
+    {"service-1024n-8192t", 1024, 64, 128, 4, 0.05, 0.2, 13, 3, true},
+};
+
+struct ServiceResult {
+  double wall_ms_min = 0;    ///< total planning wall of the best repeat
+  double wall_ms_mean = 0;   ///< mean total planning wall across repeats
+  double requests_per_sec = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+  std::uint32_t batches = 0;
+  std::uint64_t locally_matched = 0;
+  std::uint64_t randomly_filled = 0;
+  double local_pct = 0;
+};
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) / 100.0 + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+ServiceResult run_scenario(const Scenario& sc) {
+  // Seeded layout: one shared dataset, one chunk per trace task, identical
+  // across repeats.
+  const std::uint32_t total_tasks = sc.jobs * sc.tasks_per_job;
+  dfs::NameNode nn(dfs::Topology::single_rack(sc.nodes), 3);
+  dfs::RandomPlacement policy;
+  Rng layout_rng(sc.seed);
+  const auto all_tasks =
+      workload::make_single_data_workload(nn, total_tasks, policy, layout_rng);
+  const auto placement = core::one_process_per_node(nn);
+
+  core::ServiceOptions options;
+  options.seed = sc.seed * 7919 + 1;
+  options.batch_window = sc.batch_window_s;
+
+  ServiceResult out;
+  double total_ms_sum = 0;
+  std::vector<double> best_latencies;
+  for (std::uint32_t rep = 0; rep < sc.repeats; ++rep) {
+    core::PlannerService service(nn, placement, options);
+    for (std::uint32_t j = 0; j < sc.jobs; ++j) {
+      core::JobRequest request;
+      request.tenant = j % sc.tenants;
+      request.weight = 1.0 + static_cast<double>(request.tenant % 2);
+      request.arrival = static_cast<double>(j) * sc.arrival_gap_s;
+      const std::size_t begin = static_cast<std::size_t>(j) * sc.tasks_per_job;
+      request.tasks.assign(all_tasks.begin() + static_cast<std::ptrdiff_t>(begin),
+                           all_tasks.begin() +
+                               static_cast<std::ptrdiff_t>(begin + sc.tasks_per_job));
+      (void)service.submit(std::move(request));
+    }
+
+    // Advance through the arrival stream, then drain; attribute each call's
+    // wall time to the jobs it planned.
+    std::vector<double> latencies;
+    latencies.reserve(sc.jobs);
+    double total_ms = 0;
+    const auto timed_step = [&](auto&& step) {
+      const std::uint64_t before = service.counters().jobs_planned;
+      const auto t0 = std::chrono::steady_clock::now();
+      step();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      total_ms += ms;
+      const std::uint64_t planned = service.counters().jobs_planned - before;
+      for (std::uint64_t i = 0; i < planned; ++i) latencies.push_back(ms);
+    };
+    for (std::uint32_t j = 0; j < sc.jobs; ++j) {
+      const double t = static_cast<double>(j) * sc.arrival_gap_s;
+      timed_step([&] { service.advance_to(t); });
+    }
+    timed_step([&] { service.drain(); });
+
+    total_ms_sum += total_ms;
+    if (rep == 0 || total_ms < out.wall_ms_min) {
+      out.wall_ms_min = total_ms;
+      best_latencies = std::move(latencies);
+      const auto& c = service.counters();
+      out.batches = c.batches;
+      out.locally_matched = c.locally_matched;
+      out.randomly_filled = c.randomly_filled;
+      out.local_pct = c.tasks_planned
+                          ? 100.0 * static_cast<double>(c.locally_matched) /
+                                static_cast<double>(c.tasks_planned)
+                          : 0.0;
+    }
+  }
+  out.wall_ms_mean = total_ms_sum / sc.repeats;
+  out.requests_per_sec =
+      out.wall_ms_min > 0 ? 1000.0 * sc.jobs / out.wall_ms_min : 0.0;
+  std::sort(best_latencies.begin(), best_latencies.end());
+  out.latency_p50_ms = percentile(best_latencies, 50);
+  out.latency_p99_ms = percentile(best_latencies, 99);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_planner.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: perf_service [--out=path.json] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+
+  std::fprintf(f, "{\n  \"bench\": \"planner\",\n  \"schema\": 1,\n  \"scenarios\": [\n");
+  bool first = true;
+  for (const Scenario& sc : kScenarios) {
+    if (smoke && !sc.smoke) continue;
+    const Scenario run = smoke ? Scenario{sc.name, sc.nodes, sc.jobs, sc.tasks_per_job,
+                                          sc.tenants, sc.arrival_gap_s, sc.batch_window_s,
+                                          sc.seed, std::min<std::uint32_t>(sc.repeats, 3),
+                                          sc.smoke}
+                               : sc;
+    const ServiceResult r = run_scenario(run);
+
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nodes\": %u, \"tasks\": %u, "
+                 "\"replication\": 3, \"seed\": %llu, \"repeats\": %u,\n"
+                 "     \"wall_ms_min\": %.4f, \"wall_ms_mean\": %.4f, "
+                 "\"peak_rss_kb\": %ld,\n"
+                 "     \"metrics\": {\"jobs\": %u, \"batches\": %u, "
+                 "\"requests_per_sec\": %.2f, \"latency_p50_ms\": %.4f, "
+                 "\"latency_p99_ms\": %.4f, \"locally_matched\": %llu, "
+                 "\"randomly_filled\": %llu, \"local_task_pct\": %.2f}}",
+                 run.name, run.nodes, run.jobs * run.tasks_per_job,
+                 static_cast<unsigned long long>(run.seed), run.repeats, r.wall_ms_min,
+                 r.wall_ms_mean, peak_rss_kb(), run.jobs, r.batches, r.requests_per_sec,
+                 r.latency_p50_ms, r.latency_p99_ms,
+                 static_cast<unsigned long long>(r.locally_matched),
+                 static_cast<unsigned long long>(r.randomly_filled), r.local_pct);
+
+    std::printf("%-24s plan wall %9.3f ms  %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms  "
+                "batches %u  local %.1f%%\n",
+                run.name, r.wall_ms_min, r.requests_per_sec, r.latency_p50_ms,
+                r.latency_p99_ms, r.batches, r.local_pct);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

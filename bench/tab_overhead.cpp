@@ -49,6 +49,7 @@ void BM_SingleDataEdmondsKarp(benchmark::State& state) {
           static_cast<std::uint32_t>(state.range(0)) * 10, false);
   for (auto _ : state) {
     Rng rng(1);
+    // opass-lint: allow(facade-only) — microbenchmark of the raw matcher
     benchmark::DoNotOptimize(core::assign_single_data(
         env.nn, env.tasks, env.placement, rng, {graph::MaxFlowAlgorithm::kEdmondsKarp}));
   }
@@ -60,6 +61,7 @@ void BM_SingleDataDinic(benchmark::State& state) {
           static_cast<std::uint32_t>(state.range(0)) * 10, false);
   for (auto _ : state) {
     Rng rng(1);
+    // opass-lint: allow(facade-only) — microbenchmark of the raw matcher
     benchmark::DoNotOptimize(core::assign_single_data(
         env.nn, env.tasks, env.placement, rng, {graph::MaxFlowAlgorithm::kDinic}));
   }
@@ -70,6 +72,7 @@ void BM_MultiDataAlgorithm1(benchmark::State& state) {
   Env env(static_cast<std::uint32_t>(state.range(0)),
           static_cast<std::uint32_t>(state.range(0)) * 10, true);
   for (auto _ : state) {
+    // opass-lint: allow(facade-only) — microbenchmark of the raw matcher
     benchmark::DoNotOptimize(core::assign_multi_data(env.nn, env.tasks, env.placement));
   }
 }
@@ -83,6 +86,7 @@ void print_overhead_table() {
 
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(1);
+  // opass-lint: allow(facade-only) — timing the matcher alone is the point
   auto plan = core::assign_single_data(env.nn, env.tasks, env.placement, rng);
   const auto t1 = std::chrono::steady_clock::now();
   const double match_ms =

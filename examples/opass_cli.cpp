@@ -5,6 +5,7 @@
 //   opass_cli --scenario=dynamic --nodes=128 --seed=7 --compute=0.4
 //   opass_cli --scenario=single --method=opass --audit
 //   opass_cli --scenario=single --metrics-out=metrics.json --trace-out=trace.json
+//   opass_cli --service-trace=bench/traces/service_small.trace --batch-window=0.5
 //
 // Prints the run's headline metrics as a table, or the per-op I/O series as
 // CSV with --csv (ready for plotting). With --audit the scenario's plan is
@@ -37,6 +38,7 @@
 #include "obs/hotspot.hpp"
 #include "obs/metrics_io.hpp"
 #include "obs/report.hpp"
+#include "exp/service_trace.hpp"
 #include "opass/plan_audit.hpp"
 
 namespace {
@@ -157,6 +159,91 @@ int audit_method(const std::string& scenario, exp::Method method,
   return report.ok() ? 0 : 1;
 }
 
+/// --service-trace mode: replay a job-arrival trace through the planning
+/// service (no cluster simulation). Prints the replay summary; --service-out
+/// writes the deterministic per-job assignment rendering, --metrics-out the
+/// service counters, --timeline-out the sampled service series.
+int run_service_trace(const std::string& trace_path, const exp::ExperimentConfig& cfg,
+                      const Options& opts) {
+  exp::ServiceTraceConfig scfg;
+  scfg.nodes = cfg.nodes;
+  scfg.replication = cfg.replication;
+  scfg.seed = cfg.seed;
+  scfg.placement = cfg.placement;
+  scfg.flow_algorithm = cfg.flow_algorithm;
+  scfg.batch_window = opts.real("batch-window");
+  scfg.fair_share = opts.boolean("fair-share");
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TimelineRecorder> recorder;
+  const std::string metrics_out = opts.str("metrics-out");
+  const std::string timeline_out = opts.str("timeline-out");
+  if (!metrics_out.empty()) scfg.metrics = &registry;
+  if (!timeline_out.empty()) {
+    obs::TimelineRecorder::Options topt;
+    topt.interval = opts.real("sample-interval");
+    if (!(topt.interval > 0)) {
+      std::fprintf(stderr, "sample-interval must be positive\n");
+      return 2;
+    }
+    recorder = std::make_unique<obs::TimelineRecorder>(topt);
+    scfg.timeline = recorder.get();
+  }
+
+  exp::ServiceTraceOutput out;
+  try {
+    out = exp::replay_service_trace(scfg, exp::load_service_trace(trace_path));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("service-trace=%s nodes=%u r=%u seed=%llu window=%g fair-share=%s\n\n",
+              trace_path.c_str(), cfg.nodes, cfg.replication,
+              static_cast<unsigned long long>(cfg.seed), scfg.batch_window,
+              scfg.fair_share ? "on" : "off");
+  Table table({"jobs", "batches", "tasks", "matched", "filled", "local %",
+               "max batch", "max queue"});
+  table.add_row({Table::integer(static_cast<long long>(out.counters.jobs_planned)),
+                 Table::integer(out.counters.batches),
+                 Table::integer(static_cast<long long>(out.counters.tasks_planned)),
+                 Table::integer(static_cast<long long>(out.counters.locally_matched)),
+                 Table::integer(static_cast<long long>(out.counters.randomly_filled)),
+                 Table::num(100 * out.local_byte_fraction, 1),
+                 Table::integer(out.counters.max_batch_tasks),
+                 Table::integer(out.counters.max_queue_depth)});
+  std::fputs(table.render().c_str(), stdout);
+
+  int rc = 0;
+  const auto flush = [&rc](const std::string& path, const std::string& body) {
+    const obs::IoStatus st = obs::write_file(path, body);
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  };
+  const std::string service_out = opts.str("service-out");
+  if (!service_out.empty()) flush(service_out, out.rendered);
+  if (!metrics_out.empty()) {
+    const obs::IoStatus st = obs::write_metrics(registry, metrics_out);
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!timeline_out.empty()) {
+    obs::ReportBuilder builder;
+    obs::MethodReport mr;
+    mr.name = "service";
+    mr.timeline = recorder.get();
+    mr.makespan = recorder->end_time();
+    mr.local_fraction = out.local_byte_fraction;
+    builder.add_method(std::move(mr));
+    flush(timeline_out, builder.timeline_json());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +265,10 @@ int main(int argc, char** argv) {
       .add("report-html", "", "write a self-contained HTML run report to this path")
       .add("sample-interval", "0.5", "timeline sampling period in virtual seconds")
       .add("hotspots", "false", "print the per-node serving hotspot report")
+      .add("service-trace", "", "replay a job-arrival trace through the planning service")
+      .add("batch-window", "0.0", "service coalescing window in virtual seconds")
+      .add("fair-share", "true", "per-tenant fair share of the service's locality budget")
+      .add("service-out", "", "write the replay's per-job assignment rendering to this path")
       .add("help", "false", "show usage");
   if (!opts.parse(argc, argv) || opts.boolean("help")) {
     if (!opts.error().empty()) std::fprintf(stderr, "error: %s\n", opts.error().c_str());
@@ -205,6 +296,9 @@ int main(int argc, char** argv) {
                  opts.str("plan-algorithm").c_str());
     return 2;
   }
+
+  const std::string service_trace = opts.str("service-trace");
+  if (!service_trace.empty()) return run_service_trace(service_trace, cfg, opts);
 
   const std::string scenario = opts.str("scenario");
   const std::string method = opts.str("method");

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   }
   {
     Rng arng(5);
-    const auto plan = core::assign_single_data(nn, tasks, placement, arng);
+    const auto plan = core::plan({&nn, &tasks, &placement, &arng});
     sim::Cluster cluster(nodes);
     runtime::StaticAssignmentSource source(plan.assignment);
     Rng exec_rng(7);

@@ -111,4 +111,30 @@ void collect_dynamic(MetricsRegistry& registry, const core::OpassDynamicSource& 
                          : 0.0);
 }
 
+void collect_service(MetricsRegistry& registry, const core::PlannerService& service,
+                     const std::string& prefix) {
+  const core::ServiceCounters& c = service.counters();
+  registry.counter_add(prefix + ".jobs_submitted", c.jobs_submitted);
+  registry.counter_add(prefix + ".jobs_planned", c.jobs_planned);
+  registry.counter_add(prefix + ".jobs_cancelled", c.jobs_cancelled);
+  registry.counter_add(prefix + ".jobs_completed", c.jobs_completed);
+  registry.counter_add(prefix + ".tasks_planned", c.tasks_planned);
+  registry.counter_add(prefix + ".locally_matched", c.locally_matched);
+  registry.counter_add(prefix + ".randomly_filled", c.randomly_filled);
+  registry.counter_add(prefix + ".batches", c.batches);
+  registry.gauge_set(prefix + ".max_batch_tasks", c.max_batch_tasks);
+  registry.gauge_set(prefix + ".max_queue_depth", c.max_queue_depth);
+  registry.gauge_set(prefix + ".local_match_fraction",
+                     c.tasks_planned ? static_cast<double>(c.locally_matched) /
+                                           static_cast<double>(c.tasks_planned)
+                                     : 0.0);
+  const core::TenantAccounts& accounts = service.tenants();
+  for (core::TenantId tenant : accounts.tenants()) {
+    const std::string t = prefix + ".tenant." + std::to_string(tenant);
+    registry.counter_add(t + ".charged_bytes", accounts.charged(tenant));
+    registry.gauge_set(t + ".weight", accounts.weight(tenant));
+    registry.gauge_set(t + ".normalized_usage", accounts.normalized_usage(tenant));
+  }
+}
+
 }  // namespace opass::obs

@@ -20,6 +20,7 @@
 
 #include "opass/dynamic_scheduler.hpp"
 #include "opass/planner.hpp"
+#include "opass/service.hpp"
 #include "runtime/executor.hpp"
 #include "sim/cluster.hpp"
 #include "obs/metrics.hpp"
@@ -52,5 +53,11 @@ void collect_plan(MetricsRegistry& registry, const core::PlanResult& plan,
 /// steals and the steal locality hit rate.
 void collect_dynamic(MetricsRegistry& registry, const core::OpassDynamicSource& source,
                      const std::string& prefix = "dynamic");
+
+/// Reduce a planning service's lifetime counters: job/task totals, the
+/// match-vs-fill split, batch shape extremes, and each tenant's weight and
+/// cumulative charged locality bytes.
+void collect_service(MetricsRegistry& registry, const core::PlannerService& service,
+                     const std::string& prefix = "service");
 
 }  // namespace opass::obs

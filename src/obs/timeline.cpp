@@ -259,6 +259,46 @@ void ExecutorTimelineProbe::on_process_depth(Seconds now, runtime::ProcessId pro
   recorder_.record_level(queue_depth_, now, total_depth_);
 }
 
+ServiceTimelineProbe::ServiceTimelineProbe(TimelineRecorder& recorder,
+                                           std::uint32_t tenant_count)
+    : recorder_(recorder), tenant_level_(tenant_count, 0) {
+  queue_depth_ = recorder_.add_level_series("timeline.service.queue_depth");
+  batch_jobs_ = recorder_.add_level_series("timeline.service.batch_jobs");
+  batch_tasks_ = recorder_.add_level_series("timeline.service.batch_tasks");
+  planned_rate_ = recorder_.add_rate_series("timeline.service.planned_tasks_per_s");
+  local_rate_ = recorder_.add_rate_series("timeline.service.local_tasks_per_s");
+  tenant_bytes_.reserve(tenant_count);
+  for (std::uint32_t i = 0; i < tenant_count; ++i)
+    tenant_bytes_.push_back(recorder_.add_level_series(
+        "timeline.service.tenant." + std::to_string(i) + ".local_bytes"));
+}
+
+void ServiceTimelineProbe::on_job_queued(Seconds now, const core::JobStatus& /*job*/,
+                                         std::uint32_t queue_depth) {
+  recorder_.record_level(queue_depth_, now, queue_depth);
+}
+
+void ServiceTimelineProbe::on_job_cancelled(Seconds now, const core::JobStatus& /*job*/,
+                                            std::uint32_t queue_depth) {
+  recorder_.record_level(queue_depth_, now, queue_depth);
+}
+
+void ServiceTimelineProbe::on_batch_planned(const core::BatchReport& report) {
+  const Seconds now = report.planned_at;
+  recorder_.record_level(queue_depth_, now, report.queue_depth_after);
+  recorder_.record_level(batch_jobs_, now, report.jobs);
+  recorder_.record_level(batch_tasks_, now, report.tasks);
+  recorder_.record_rate(planned_rate_, now, report.tasks);
+  recorder_.record_rate(local_rate_, now, report.locally_matched);
+  for (const core::TenantBatchShare& share : report.tenants) {
+    OPASS_REQUIRE(share.tenant < tenant_level_.size(),
+                  "tenant id out of the probe's declared range");
+    tenant_level_[share.tenant] += static_cast<double>(share.local_bytes);
+    recorder_.record_level(tenant_bytes_[share.tenant], now,
+                           tenant_level_[share.tenant]);
+  }
+}
+
 // --- per-run wiring ---------------------------------------------------------
 
 RunTimeline::RunTimeline(TimelineRecorder* recorder, sim::Cluster& cluster,

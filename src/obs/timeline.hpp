@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "opass/service.hpp"
 #include "runtime/executor.hpp"
 #include "sim/cluster.hpp"
 
@@ -196,6 +197,28 @@ class ExecutorTimelineProbe final : public runtime::ExecutorProbe {
   TimelineRecorder::SeriesId queue_depth_;
   std::vector<std::uint32_t> depth_;
   std::uint32_t total_depth_ = 0;
+};
+
+/// Planning-service adapter: queue depth, batch shape, planned/local task
+/// rates, and per-tenant cumulative locally-assigned bytes. The recorder
+/// requires every series before the first sample, so the tenant id space
+/// must be declared up front: tenant ids must be dense in [0, tenant_count).
+class ServiceTimelineProbe final : public core::ServiceProbe {
+ public:
+  ServiceTimelineProbe(TimelineRecorder& recorder, std::uint32_t tenant_count);
+
+  void on_job_queued(Seconds now, const core::JobStatus& job,
+                     std::uint32_t queue_depth) override;
+  void on_job_cancelled(Seconds now, const core::JobStatus& job,
+                        std::uint32_t queue_depth) override;
+  void on_batch_planned(const core::BatchReport& report) override;
+
+ private:
+  TimelineRecorder& recorder_;
+  TimelineRecorder::SeriesId queue_depth_, batch_jobs_, batch_tasks_,
+      planned_rate_, local_rate_;
+  std::vector<TimelineRecorder::SeriesId> tenant_bytes_;
+  std::vector<double> tenant_level_;
 };
 
 /// One-stop wiring for a run: attaches a ClusterTimelineProbe to the cluster

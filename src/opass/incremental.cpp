@@ -17,6 +17,13 @@ IncrementalPlanner::IncrementalPlanner(const dfs::NameNode& nn, ProcessPlacement
 }
 
 BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batch, Rng& rng) {
+  PlanOptions options;
+  options.algorithm = algorithm_;
+  return match_batch(batch, rng, options);
+}
+
+BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batch, Rng& rng,
+                                          const PlanOptions& options) {
   const auto m = static_cast<std::uint32_t>(placement_.size());
   const auto b = static_cast<std::uint32_t>(batch.size());
   for (const auto& t : batch)
@@ -41,7 +48,8 @@ BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batc
   // The workspace is cleared, not reconstructed, so steady-state batches do
   // no allocation. Edge ids are dense in insertion order: s->p edges [0, m),
   // p->task edges [m, m + k), task->t edges afterwards.
-  graph::FlowNetwork& net = workspace_.network;
+  graph::FlowWorkspace& workspace = options.workspace ? *options.workspace : workspace_;
+  graph::FlowNetwork& net = workspace.network;
   net.clear(2 + m + b);
   const graph::NodeIdx s = 0;
   const graph::NodeIdx t = 1;
@@ -58,7 +66,7 @@ BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batc
   const auto pt_count = static_cast<std::uint32_t>(net.edge_count()) - m;
   for (std::uint32_t i = 0; i < b; ++i) net.add_edge(task0 + i, t, 1);
 
-  graph::max_flow(workspace_, s, t, algorithm_);
+  graph::max_flow(workspace, s, t, options.algorithm);
 
   std::vector<char> assigned(b, 0);
   std::vector<std::uint32_t> used(m, 0);
@@ -70,6 +78,7 @@ BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batc
       assigned[i] = 1;
       ++used[p];
       ++plan.locally_matched;
+      plan.stats.local_bytes += nn_.chunk(batch[i].inputs[0]).size;
     }
   }
 
@@ -88,13 +97,25 @@ BatchPlan IncrementalPlanner::match_batch(const std::vector<runtime::Task>& batc
     plan.assignment[p].push_back(batch[i].id);
     ++used[p];
     ++plan.randomly_filled;
+    // A fill can still land on a replica holder by luck; count it local.
+    if (nn_.chunk(batch[i].inputs[0]).has_replica_on(placement_[p]))
+      plan.stats.local_bytes += nn_.chunk(batch[i].inputs[0]).size;
     if (used[p] == quota[p]) {
       open[pick] = open.back();
       open.pop_back();
     }
   }
 
-  for (std::uint32_t p = 0; p < m; ++p) load_[p] += used[p];
+  // Batch-local profile (the assignment holds caller ids, so a global
+  // evaluate_assignment() pass does not apply — accumulate directly).
+  plan.stats.task_count = b;
+  for (const auto& task : batch) plan.stats.total_bytes += nn_.chunk(task.inputs[0]).size;
+  plan.stats.min_tasks_per_process = UINT32_MAX;
+  for (std::uint32_t p = 0; p < m; ++p) {
+    plan.stats.max_tasks_per_process = std::max(plan.stats.max_tasks_per_process, used[p]);
+    plan.stats.min_tasks_per_process = std::min(plan.stats.min_tasks_per_process, used[p]);
+    load_[p] += used[p];
+  }
   return plan;
 }
 

@@ -16,6 +16,7 @@
 #include "dfs/namenode.hpp"
 #include "graph/max_flow.hpp"
 #include "opass/locality_graph.hpp"
+#include "opass/planner.hpp"
 #include "runtime/static_partitioner.hpp"
 #include "runtime/task.hpp"
 
@@ -27,6 +28,10 @@ struct [[nodiscard]] BatchPlan {
   runtime::Assignment assignment;
   std::uint32_t locally_matched = 0;
   std::uint32_t randomly_filled = 0;
+  /// Locality/balance profile of this batch's assignment (same shape as
+  /// PlanResult::stats; task ids in the assignment are the caller's, so this
+  /// is computed against the batch itself, not a global task table).
+  AssignmentStats stats;
 };
 
 /// Stateful planner: construct once, then match_batch() per arrival.
@@ -38,7 +43,15 @@ class IncrementalPlanner {
   /// Match a batch of single-input tasks (ids are whatever the caller uses;
   /// they are returned verbatim in the assignment). Quotas for the batch
   /// are chosen so cumulative per-process task counts stay within one of
-  /// each other.
+  /// each other. Of `options`, the flow knobs are honored: `algorithm`
+  /// selects the per-batch solver and a non-null `workspace` replaces the
+  /// planner's internal arena; `planner`/`steal_policy` do not apply here.
+  BatchPlan match_batch(const std::vector<runtime::Task>& batch, Rng& rng,
+                        const PlanOptions& options);
+
+  /// Pre-facade spelling: the constructor's algorithm, internal workspace.
+  [[deprecated("use match_batch(batch, rng, PlanOptions{...}) — options-last, "
+               "like the core::plan() facade")]]
   BatchPlan match_batch(const std::vector<runtime::Task>& batch, Rng& rng);
 
   /// Cumulative tasks assigned to each process so far.

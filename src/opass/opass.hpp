@@ -10,6 +10,7 @@
 // See examples/quickstart.cpp for a complete program.
 #pragma once
 
+#include "opass/admission.hpp"
 #include "opass/assignment_stats.hpp"
 #include "opass/dynamic_scheduler.hpp"
 #include "opass/locality_graph.hpp"
@@ -20,5 +21,6 @@
 #include "opass/incremental.hpp"
 #include "opass/planner.hpp"
 #include "opass/rack_aware.hpp"
+#include "opass/service.hpp"
 #include "opass/single_data.hpp"
 #include "opass/weighted_single_data.hpp"

@@ -25,8 +25,18 @@ PlannerKind parse_planner_kind(const std::string& name) {
   if (name == "weighted") return PlannerKind::kWeighted;
   if (name == "rack-aware") return PlannerKind::kRackAware;
   if (name == "multi-data") return PlannerKind::kMultiData;
-  OPASS_REQUIRE(false,
-                "unknown planner name (single-data | weighted | rack-aware | multi-data)");
+  OPASS_REQUIRE(false, "unknown planner name \"" + name +
+                           "\" (single-data | weighted | rack-aware | multi-data)");
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kPlanned: return "planned";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  OPASS_CHECK(false, "unhandled JobState");
 }
 
 namespace {

@@ -94,6 +94,86 @@ struct [[nodiscard]] PlanResult {
 /// Run the planner selected by `options.planner` and package the result.
 PlanResult plan(const PlanRequest& request, PlanOptions options = {});
 
+// --- session-based planning service types -----------------------------------
+//
+// The one-shot plan() facade answers a single offline request; the
+// session-based PlannerService (opass/service.hpp) answers a stream of job
+// arrivals over a shared cluster. The service's wire types live here so the
+// whole public planning API — one-shot and session — reads from one header.
+
+/// Service-issued job handle (monotone from 1; 0 is never issued).
+using JobId = std::uint64_t;
+
+/// Tenant namespace for fair-share accounting; dense small ids expected.
+using TenantId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = 0;
+
+/// Lifecycle of a submitted job.
+enum class JobState : std::uint8_t {
+  kQueued,     ///< admitted, waiting for its batch
+  kPlanned,    ///< assigned; occupies process capacity until complete/cancel
+  kCompleted,  ///< finished executing; capacity released, usage stays charged
+  kCancelled,  ///< withdrawn (queued: never planned; planned: capacity freed)
+};
+
+/// Canonical name ("queued", "planned", "completed", "cancelled").
+const char* job_state_name(JobState state);
+
+/// One job of a planning session: a set of single-input tasks arriving at a
+/// virtual time on behalf of a tenant. The service copies the request, so
+/// the caller keeps no obligations after submit().
+struct JobRequest {
+  /// Single-input tasks (ids are the caller's; returned verbatim in the
+  /// job's assignment). Multi-input tasks are rejected at submit.
+  std::vector<runtime::Task> tasks;
+  TenantId tenant = 0;
+  /// Fair-share weight of the tenant; fixed by the tenant's first job.
+  double weight = 1.0;
+  /// Virtual arrival time; must be >= the service's current time.
+  Seconds arrival = 0;
+};
+
+/// Everything the service knows about one job. Snapshot semantics: the
+/// assignment and counters are filled when the job's batch is planned.
+struct JobStatus {
+  JobId id = kInvalidJob;
+  JobState state = JobState::kQueued;
+  TenantId tenant = 0;
+  Seconds arrival = 0;
+  Seconds planned_at = 0;             ///< batch cut time (valid once planned)
+  std::uint32_t batch = 0;            ///< 1-based batch sequence number
+  std::uint32_t locally_matched = 0;  ///< tasks placed by the flow phases
+  std::uint32_t randomly_filled = 0;  ///< tasks placed by the fill pass
+  Bytes local_bytes = 0;              ///< co-located bytes of the assignment
+  Bytes total_bytes = 0;              ///< input bytes of the job's tasks
+  /// Per-process lists of the job's task ids (caller ids, empty until
+  /// planned; process count = the service placement's size).
+  runtime::Assignment assignment;
+
+  double local_fraction() const {
+    return total_bytes ? static_cast<double>(local_bytes) / static_cast<double>(total_bytes)
+                       : 0.0;
+  }
+};
+
+/// Service-wide knobs (constructor-only; options-last like PlanOptions).
+struct ServiceOptions {
+  /// Max-flow solver for the per-batch Fig. 5 solves.
+  graph::MaxFlowAlgorithm algorithm = graph::MaxFlowAlgorithm::kDinic;
+  /// Seed of the service's private Rng (random-fill phase). Same trace +
+  /// same seed => byte-identical assignments (the determinism contract).
+  std::uint64_t seed = 0;
+  /// Coalescing window: jobs arriving within `batch_window` of a batch head
+  /// merge into the head's flow solve (0 = only exact co-arrivals).
+  Seconds batch_window = 0;
+  std::uint32_t max_batch_jobs = 0;   ///< per-batch job cap (0 = unbounded)
+  std::uint32_t max_batch_tasks = 0;  ///< per-batch task cap (0 = unbounded)
+  /// When false, the per-tenant fair-share phase is skipped and batches get
+  /// plain maximum locality (single flow solve).
+  bool fair_share = true;
+};
+
 /// Build the Section IV-D dynamic source seeded with plan()'s assignment as
 /// the guideline A*. The request's nn/tasks/placement must outlive the
 /// returned source.

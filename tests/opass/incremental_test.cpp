@@ -30,18 +30,47 @@ struct IncrementalFixture : ::testing::Test {
 TEST_F(IncrementalFixture, SingleBatchMatchesFullPlanner) {
   IncrementalPlanner planner(nn, placement);
   Rng r1(3), r2(3);
-  const auto inc = planner.match_batch(all_tasks, r1);
+  const auto inc = planner.match_batch(all_tasks, r1, {});
   const auto full = assign_single_data(nn, all_tasks, placement, r2,
                                        {graph::MaxFlowAlgorithm::kDinic});
   EXPECT_EQ(inc.locally_matched, full.locally_matched);
   EXPECT_EQ(inc.locally_matched + inc.randomly_filled, 80u);
 }
 
+TEST_F(IncrementalFixture, BatchPlanCarriesAssignmentStats) {
+  IncrementalPlanner planner(nn, placement);
+  Rng r1(3);
+  const auto plan = planner.match_batch(all_tasks, r1, {});
+  EXPECT_EQ(plan.stats.task_count, 80u);
+  EXPECT_EQ(plan.stats.total_bytes, 80 * kDefaultChunkSize);
+  // Matched tasks are local by construction; lucky fills may add more.
+  EXPECT_GE(plan.stats.local_bytes,
+            static_cast<Bytes>(plan.locally_matched) * kDefaultChunkSize);
+  EXPECT_LE(plan.stats.local_bytes, plan.stats.total_bytes);
+  // The quota rule keeps per-process counts within one of each other.
+  EXPECT_LE(plan.stats.max_tasks_per_process - plan.stats.min_tasks_per_process, 1u);
+}
+
+TEST_F(IncrementalFixture, ExternalWorkspaceAndAlgorithmMatchInternal) {
+  IncrementalPlanner dinic(nn, placement), external(nn, placement);
+  Rng r1(3), r2(3);
+  graph::FlowWorkspace workspace;
+  core::PlanOptions options;
+  options.algorithm = graph::MaxFlowAlgorithm::kEdmondsKarp;
+  options.workspace = &workspace;
+  const auto a = dinic.match_batch(all_tasks, r1, {});
+  const auto b = external.match_batch(all_tasks, r2, options);
+  // Both solvers find a maximum matching of the same Fig. 5 network.
+  EXPECT_EQ(a.locally_matched, b.locally_matched);
+  EXPECT_EQ(a.stats.local_bytes, b.stats.local_bytes);
+  EXPECT_GT(workspace.network.edge_count(), 0u);  // the external arena was used
+}
+
 TEST_F(IncrementalFixture, BatchesCoverEveryTaskOnce) {
   IncrementalPlanner planner(nn, placement);
   std::set<runtime::TaskId> seen;
   for (std::uint32_t start = 0; start < 80; start += 16) {
-    const auto plan = planner.match_batch(batch(start, 16), rng);
+    const auto plan = planner.match_batch(batch(start, 16), rng, {});
     for (const auto& list : plan.assignment)
       for (auto t : list) EXPECT_TRUE(seen.insert(t).second) << "task assigned twice";
   }
@@ -55,7 +84,7 @@ TEST_F(IncrementalFixture, CumulativeLoadStaysBalanced) {
   const std::uint32_t sizes[] = {5, 17, 3, 30, 25};
   std::uint32_t start = 0;
   for (auto s : sizes) {
-    (void)planner.match_batch(batch(start, s), rng);  // this test reads load(), not the plan
+    (void)planner.match_batch(batch(start, s), rng, {});  // reads load(), not the plan
     start += s;
     std::uint32_t hi = 0, lo = UINT32_MAX;
     for (auto l : planner.load()) {
@@ -70,21 +99,21 @@ TEST_F(IncrementalFixture, LocalityHighPerBatch) {
   IncrementalPlanner planner(nn, placement);
   std::uint32_t local = 0;
   for (std::uint32_t start = 0; start < 80; start += 20)
-    local += planner.match_batch(batch(start, 20), rng).locally_matched;
+    local += planner.match_batch(batch(start, 20), rng, {}).locally_matched;
   // Per-batch matching loses some global optimality but stays high.
   EXPECT_GT(local, 70u);
 }
 
 TEST_F(IncrementalFixture, EmptyBatchIsFine) {
   IncrementalPlanner planner(nn, placement);
-  const auto plan = planner.match_batch({}, rng);
+  const auto plan = planner.match_batch({}, rng, {});
   EXPECT_EQ(plan.locally_matched, 0u);
   EXPECT_EQ(planner.batches_matched(), 1u);
 }
 
 TEST_F(IncrementalFixture, GlobalTaskIdsPreserved) {
   IncrementalPlanner planner(nn, placement);
-  const auto plan = planner.match_batch(batch(40, 8), rng);
+  const auto plan = planner.match_batch(batch(40, 8), rng, {});
   for (const auto& list : plan.assignment)
     for (auto t : list) {
       EXPECT_GE(t, 40u);
@@ -98,7 +127,7 @@ TEST_F(IncrementalFixture, Validation) {
   IncrementalPlanner planner(nn, placement);
   runtime::Task multi;
   multi.inputs = {0, 1};
-  EXPECT_THROW(planner.match_batch({multi}, rng), std::invalid_argument);
+  EXPECT_THROW(planner.match_batch({multi}, rng, {}), std::invalid_argument);
 }
 
 }  // namespace

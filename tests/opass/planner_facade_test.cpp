@@ -121,7 +121,15 @@ TEST(PlannerFacade, KindNamesRoundTrip) {
                           PlannerKind::kRackAware, PlannerKind::kMultiData}) {
     EXPECT_EQ(parse_planner_kind(planner_kind_name(kind)), kind);
   }
-  EXPECT_THROW(parse_planner_kind("gale-shapley"), std::invalid_argument);
+  try {
+    parse_planner_kind("gale-shapley");
+    FAIL() << "parse_planner_kind accepted an unknown name";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the offender (so a typo in a config or CLI flag
+    // is diagnosable from the error alone) and list the accepted spellings.
+    EXPECT_NE(std::string(e.what()).find("gale-shapley"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("single-data"), std::string::npos) << e.what();
+  }
 }
 
 TEST(PlannerFacade, MakeDynamicSourceDrainsEveryTask) {

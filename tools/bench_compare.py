@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold=20]
-                           [--gate NAME:PCT ...]
+                           [--gate NAME:PCT ...] [--gate-min NAME:PCT ...]
 
 Both files must be BENCH_planner.json / BENCH_executor.json reports (schema 1)
 from the same harness. Scenarios are matched by name; scenarios present in
@@ -20,10 +20,14 @@ with the host, and counters only change when behaviour changes, which the
 tier-1 tests gate. Specific metrics can be promoted to hard gates with the
 repeatable --gate option: `--gate metrics.degree_of_imbalance:10` fails the
 comparison when the current value exceeds the baseline by more than 10% (a
-baseline of 0 fails on any increase). Gated metrics are host-independent
-simulation outputs, so a tight percentage is safe. Fields this script does
-not recognise are reported as warnings so schema growth is always visible in
-CI logs.
+baseline of 0 fails on any increase). For metrics where *lower* is the
+regression direction (throughput, locality percentages), --gate-min is the
+mirror image: `--gate-min metrics.requests_per_sec:30` fails when the
+current value falls below the baseline by more than 30%. Gated metrics are
+host-independent simulation outputs, so a tight percentage is safe —
+except throughput-style metrics, which share the host sensitivity of wall
+times and want a generous margin. Fields this script does not recognise are
+reported as warnings so schema growth is always visible in CI logs.
 """
 
 from __future__ import annotations
@@ -116,6 +120,10 @@ def main() -> int:
                         metavar="NAME:PCT",
                         help="fail when embedded metric NAME exceeds the "
                              "baseline by more than PCT percent (repeatable)")
+    parser.add_argument("--gate-min", type=parse_gate, action="append", default=[],
+                        metavar="NAME:PCT",
+                        help="fail when embedded metric NAME falls below the "
+                             "baseline by more than PCT percent (repeatable)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -161,17 +169,24 @@ def main() -> int:
             gate_pct = next((pct for gate_name, pct in args.gate
                              if metric == gate_name
                              or metric.endswith("." + gate_name)), None)
-            if gate_pct is not None:
-                allowed = b * (1.0 + gate_pct / 100.0)
-                if c > allowed:
-                    failures.append(
-                        f"{name}: {metric} {b:g} -> {c:g} "
-                        f"(gate: at most +{gate_pct:g}%)")
-                    print(f"  {name}: {metric} {b:g} -> {c:g} GATED REGRESSION")
-                else:
-                    print(f"  {name}: {metric} {b:g} -> {c:g} ok (gated)")
-            elif b != c:
-                print(f"  {name}: {metric} {b:g} -> {c:g} (informational)")
+            gate_min_pct = next((pct for gate_name, pct in args.gate_min
+                                 if metric == gate_name
+                                 or metric.endswith("." + gate_name)), None)
+            if gate_pct is None and gate_min_pct is None:
+                if b != c:
+                    print(f"  {name}: {metric} {b:g} -> {c:g} (informational)")
+                continue
+            gated_ok = True
+            if gate_pct is not None and c > b * (1.0 + gate_pct / 100.0):
+                gated_ok = False
+                failures.append(f"{name}: {metric} {b:g} -> {c:g} "
+                                f"(gate: at most +{gate_pct:g}%)")
+            if gate_min_pct is not None and c < b * (1.0 - gate_min_pct / 100.0):
+                gated_ok = False
+                failures.append(f"{name}: {metric} {b:g} -> {c:g} "
+                                f"(gate: at least -{gate_min_pct:g}%)")
+            print(f"  {name}: {metric} {b:g} -> {c:g} "
+                  f"{'ok (gated)' if gated_ok else 'GATED REGRESSION'}")
         for metric in sorted(curr_metrics.keys() - base_metrics.keys()):
             print(f"  {name}: {metric} new metric (no baseline)")
 

@@ -35,6 +35,16 @@ Rules (all scoped to src/ unless noted):
                     form ending in "." (used to splice in a node/process id).
                     A malformed literal would pass compilation but throw at
                     recorder registration or silently miss exporter filters.
+  facade-only       (scoped to src/ outside src/opass/, plus bench/ and
+                    examples/) Planning goes through the core::plan() facade;
+                    the per-planner entry points (assign_single_data,
+                    assign_single_data_weighted, assign_single_data_rack_aware,
+                    assign_multi_data) are implementation details reserved for
+                    src/opass/ internals and unit tests. A direct call
+                    elsewhere bypasses PlanOptions validation, workspace
+                    reuse, and the one place where new planners get wired in.
+                    Harnesses that deliberately measure a raw matcher carry an
+                    inline allow(facade-only) marker.
   pq-top-copy       No by-value initialization from `.top()`:
                     `auto fn = q.top();` (or a `std::function<...>` copy of
                     `.top().fn`) deep-copies the element — and since
@@ -91,6 +101,12 @@ PLAIN_STATUS_STRUCT = re.compile(r"\bstruct\s+(\w+Status)\b")
 TIMELINE_LITERAL = re.compile(r'"(timeline\.[^"\n]*)"')
 TIMELINE_FULL_NAME = re.compile(r"timeline\.[a-z0-9_]+(?:\.[a-z0-9_]+)+")
 TIMELINE_PREFIX = re.compile(r"timeline\.(?:[a-z0-9_]+\.)*")
+# A direct call of a per-planner entry point: `assign_single_data(...)`,
+# optionally `core::`-qualified. The facade spelling `core::plan(...)` does
+# not match; prose mentions live in comments, which scrub() blanks out.
+DIRECT_PLANNER_CALL = re.compile(
+    r"\b(?:core\s*::\s*)?"
+    r"(assign_(?:single_data(?:_weighted|_rack_aware)?|multi_data))\s*\(")
 # A by-value declaration initialized from `.top()`: `auto fn = q.top();`,
 # `std::function<void()> fn = q.top().fn;`. Reference bindings don't match —
 # `auto` / `std::function<...>` must be directly followed by the identifier,
@@ -203,6 +219,19 @@ def check_pq_top_copy(path: pathlib.Path, text: str, findings: list):
                     "a const reference or pop_heap and move from the back"))
 
 
+def check_facade_only(path: pathlib.Path, root: pathlib.Path, text: str, findings: list):
+    rel = path.relative_to(root).as_posix()
+    if rel.startswith("src/opass/"):
+        return  # the planners' own home — definitions and the facade itself
+    for m in DIRECT_PLANNER_CALL.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "facade-only",
+                    f"direct {m.group(1)}() call bypasses the core::plan() "
+                    "facade; route through plan() (PlanOptions selects the "
+                    "planner) or mark a deliberate raw-matcher measurement "
+                    "with opass-lint: allow(facade-only)"))
+
+
 def check_nodiscard_status(path: pathlib.Path, src_root: pathlib.Path, text: str, findings: list):
     if path.suffix != ".hpp" or "obs" not in path.relative_to(src_root).parts[:1]:
         return
@@ -236,6 +265,20 @@ def lint_tree(root: pathlib.Path) -> list:
         check_nodiscard_status(path, src_root, text, findings)
         check_timeline_metric_name(path, text, findings)
         check_pq_top_copy(path, text, findings)
+        check_facade_only(path, root, text, findings)
+    # bench/ and examples/ consume the planner API, so only the API-usage
+    # rule applies there; tests/ stays exempt (unit tests exercise the
+    # per-planner entry points on purpose).
+    for tree in ("bench", "examples"):
+        tree_root = root / tree
+        if not tree_root.is_dir():
+            continue
+        for path in sorted(tree_root.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp"):
+                continue
+            text = path.read_text(encoding="utf-8")
+            texts[path] = text
+            check_facade_only(path, root, text, findings)
     return apply_suppressions(findings, texts)
 
 
@@ -266,6 +309,11 @@ _VIOLATIONS = {
         "#include <string>\n"
         "// Two segments only, and uppercase — both break the taxonomy.\n"
         "const std::string kBad = \"timeline.ServeBytes\";\n",
+    ),
+    "facade-only": (
+        "runtime/bad_direct_plan.cpp",
+        '#include "opass/opass.hpp"\n'
+        "int f() { return core::assign_single_data(nn, tasks, placement, rng).total; }\n",
     ),
     "pq-top-copy": (
         "bad_top_copy.cpp",
@@ -310,6 +358,15 @@ _CLEANS = (
         "std::string per_node(int n) {\n"
         "  return \"timeline.cluster.node.\" + std::to_string(n);\n"
         "}\n",
+    ),
+    (
+        # src/opass/ internals may call the per-planner entry points directly
+        # (the facade is implemented in terms of them), and the facade
+        # spelling core::plan(...) must never match facade-only anywhere.
+        "opass/clean_internal_call.cpp",
+        '#include "opass/planner.hpp"\n'
+        "int internal() { return assign_single_data_weighted(nn, tasks, placement, rng).n; }\n"
+        "int facade() { return core::plan(request).locally_matched; }\n",
     ),
     (
         # Reference bindings from .top() are the compliant spelling pq-top-copy

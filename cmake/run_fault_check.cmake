@@ -1,0 +1,43 @@
+# Byte-determinism check for fault-injected runs, run as a ctest entry (see
+# examples/CMakeLists.txt). Invoked in script mode:
+#
+#   cmake -DCLI=<path-to-opass_cli> -DPLAN=<fault-plan.json> \
+#         -DOUT_DIR=<scratch-dir> -P cmake/run_fault_check.cmake
+#
+# Runs the CLI twice with an identical fixed-seed crash scenario and
+# requires the metrics, Chrome trace (fault instants included) and timeline
+# outputs to be byte-identical. Recovery draws no RNG (DESIGN.md §11), so
+# any drift — reassignment ordering, copy-queue ordering, map iteration —
+# fails the test.
+if(NOT DEFINED CLI OR NOT DEFINED PLAN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<opass_cli> -DPLAN=<fault-plan.json> -DOUT_DIR=<dir> -P run_fault_check.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${CLI}" --scenario=single --nodes=64 --tasks=640 --method=both
+            --seed=42 --fault-plan=${PLAN}
+            --metrics-out=${OUT_DIR}/metrics_${run}.json
+            --trace-out=${OUT_DIR}/trace_${run}.json
+            --timeline-out=${OUT_DIR}/timeline_${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "opass_cli fault run ${run} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(kind metrics trace timeline)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/${kind}_1.json" "${OUT_DIR}/${kind}_2.json"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${kind} output differs between identical fault-injected "
+                        "runs — crash recovery is not byte-deterministic")
+  endif()
+endforeach()
+
+message(STATUS "fault-injected metrics, trace and timeline are byte-identical across runs")

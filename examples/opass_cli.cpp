@@ -6,6 +6,15 @@
 //   opass_cli --scenario=single --method=opass --audit
 //   opass_cli --scenario=single --metrics-out=metrics.json --trace-out=trace.json
 //   opass_cli --service-trace=bench/traces/service_small.trace --batch-window=0.5
+//   opass_cli --scenario=single --fault-plan=bench/faults/crash.json --method=both
+//
+// Fault injection: --fault-plan loads a JSON fault/churn scenario
+// (sim/fault_plan.hpp documents the format) and arms it on each run's
+// cluster — crashes, stragglers, joins, drains and rebalances play out as
+// scripted virtual-time events whose recovery traffic competes with the
+// run's reads. The fault summary prints after the method table; fault
+// markers join --trace-out as instant events and --report-html/--timeline-out
+// as timeline.faults.* series.
 //
 // Prints the run's headline metrics as a table, or the per-op I/O series as
 // CSV with --csv (ready for plotting). With --audit the scenario's plan is
@@ -35,6 +44,7 @@
 #include "graph/max_flow.hpp"
 #include "obs/analytics.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/fault_log.hpp"
 #include "obs/hotspot.hpp"
 #include "obs/metrics_io.hpp"
 #include "obs/report.hpp"
@@ -55,6 +65,8 @@ struct ObsSinks {
   obs::ReportBuilder* report = nullptr;
   std::vector<std::unique_ptr<obs::TimelineRecorder>>* timelines = nullptr;
   double sample_interval = 0.5;
+  /// When set, each run arms this fault/churn scenario on its cluster.
+  const sim::FaultPlan* faults = nullptr;
 };
 
 int run_method(const std::string& scenario, exp::Method method,
@@ -72,6 +84,14 @@ int run_method(const std::string& scenario, exp::Method method,
     recorder = sinks.timelines->emplace_back(
         std::make_unique<obs::TimelineRecorder>(topt)).get();
     run_cfg.timeline = recorder;
+  }
+  std::unique_ptr<obs::FaultEventLog> fault_log;
+  sim::FaultStats fault_stats;
+  if (sinks.faults != nullptr) {
+    fault_log = std::make_unique<obs::FaultEventLog>(recorder);
+    run_cfg.faults = sinks.faults;
+    run_cfg.fault_probe = fault_log.get();
+    run_cfg.fault_stats = &fault_stats;
   }
 
   exp::RunOutput out;
@@ -116,6 +136,18 @@ int run_method(const std::string& scenario, exp::Method method,
   if (sinks.hotspots) {
     std::printf("[%s]\n%s\n", exp::method_name(method),
                 obs::hotspot_report(raw.trace, cfg.nodes).render().c_str());
+  }
+  if (fault_log) {
+    if (sinks.trace != nullptr) fault_log->add_instants(*sinks.trace, pid);
+    if (!csv) {
+      std::printf(
+          "[%s] faults: crashes=%u slow=%u joins=%u decommissions=%u rebalances=%u "
+          "recoveries=%u copies=%u copied_mib=%.1f lost_chunks=%u\n",
+          exp::method_name(method), fault_stats.crashes, fault_stats.slowdowns,
+          fault_stats.joins, fault_stats.decommissions, fault_stats.rebalances,
+          fault_stats.recoveries, fault_stats.replicas_copied,
+          to_mib(fault_stats.rereplicated_bytes), fault_stats.lost_chunks);
+    }
   }
 
   if (csv) {
@@ -255,7 +287,8 @@ int main(int argc, char** argv) {
       .add("replication", "3", "replication factor r")
       .add("seed", "42", "experiment seed")
       .add("compute", "0.0", "mean compute seconds per task (dynamic scenario)")
-      .add("placement", "random", "random | hdfs-default | round-robin")
+      .add("placement", "random", "random | hdfs-default | round-robin | spread")
+      .add("fault-plan", "", "JSON fault/churn scenario armed on each run's cluster")
       .add("plan-algorithm", "dinic", "max-flow solver for Opass planning: dinic | edmonds-karp")
       .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
       .add("audit", "false", "audit the scenario's plan statically instead of simulating")
@@ -285,6 +318,8 @@ int main(int argc, char** argv) {
     cfg.placement = dfs::PlacementKind::kHdfsDefault;
   } else if (placement == "round-robin") {
     cfg.placement = dfs::PlacementKind::kRoundRobin;
+  } else if (placement == "spread") {
+    cfg.placement = dfs::PlacementKind::kSpread;
   } else if (placement != "random") {
     std::fprintf(stderr, "unknown placement '%s'\n", placement.c_str());
     return 2;
@@ -299,6 +334,17 @@ int main(int argc, char** argv) {
 
   const std::string service_trace = opts.str("service-trace");
   if (!service_trace.empty()) return run_service_trace(service_trace, cfg, opts);
+
+  std::optional<sim::FaultPlan> fault_plan;
+  const std::string fault_plan_path = opts.str("fault-plan");
+  if (!fault_plan_path.empty()) {
+    try {
+      fault_plan = sim::load_fault_plan(fault_plan_path);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   const std::string scenario = opts.str("scenario");
   const std::string method = opts.str("method");
@@ -340,6 +386,7 @@ int main(int argc, char** argv) {
     }
   }
   sinks.hotspots = opts.boolean("hotspots");
+  if (fault_plan) sinks.faults = &*fault_plan;
 
   Table table({"method", "avg I/O (s)", "max I/O (s)", "local %", "Jain", "makespan (s)"});
   int rc = 0;

@@ -166,6 +166,43 @@ void NameNode::decommission_node(NodeId node, Rng& rng) {
   }
 }
 
+std::vector<ChunkId> NameNode::detach_node(NodeId node) {
+  OPASS_REQUIRE(node < topo_.node_count(), "node out of range");
+  OPASS_REQUIRE(!decommissioned_[node], "node already decommissioned");
+  decommissioned_[node] = 1;
+  std::vector<ChunkId> affected = node_chunks_[node];  // copy: we mutate the index
+  std::sort(affected.begin(), affected.end());
+  for (ChunkId c : affected) remove_replica(c, node);
+  return affected;
+}
+
+void NameNode::mark_decommissioned(NodeId node) {
+  OPASS_REQUIRE(node < topo_.node_count(), "node out of range");
+  OPASS_REQUIRE(!decommissioned_[node], "node already decommissioned");
+  decommissioned_[node] = 1;
+}
+
+void NameNode::register_replica(ChunkId chunk, NodeId node) {
+  OPASS_REQUIRE(chunk < chunks_.size(), "chunk id out of range");
+  OPASS_REQUIRE(node < topo_.node_count(), "node out of range");
+  OPASS_REQUIRE(!chunks_[chunk].has_replica_on(node),
+                "chunk already has a replica on this node");
+  add_replica(chunk, node);
+}
+
+void NameNode::unregister_replica(ChunkId chunk, NodeId node) {
+  OPASS_REQUIRE(chunk < chunks_.size(), "chunk id out of range");
+  OPASS_REQUIRE(node < topo_.node_count(), "node out of range");
+  remove_replica(chunk, node);
+}
+
+std::vector<NodeId> NameNode::alive_nodes() const {
+  std::vector<NodeId> alive;
+  for (NodeId n = 0; n < topo_.node_count(); ++n)
+    if (!decommissioned_[n]) alive.push_back(n);
+  return alive;
+}
+
 bool NameNode::is_decommissioned(NodeId node) const {
   OPASS_REQUIRE(node < decommissioned_.size(), "node out of range");
   return decommissioned_[node] != 0;

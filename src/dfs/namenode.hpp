@@ -100,6 +100,29 @@ class NameNode {
 
   bool is_decommissioned(NodeId node) const;
 
+  /// Crash-style detach: mark `node` decommissioned and drop every replica it
+  /// held *without* re-creating them anywhere. Returns the affected chunk
+  /// ids in ascending order — the work list a recovery driver (e.g.
+  /// sim::FaultInjector) re-replicates with real traffic, in exactly that
+  /// order so recovery stays deterministic. Unlike decommission_node, the
+  /// namespace is under-replicated until the driver finishes.
+  std::vector<ChunkId> detach_node(NodeId node);
+
+  /// Mark a node decommissioned without touching its replicas (graceful
+  /// drain: the node keeps serving while a driver copies its chunks away
+  /// one by one via register/unregister_replica).
+  void mark_decommissioned(NodeId node);
+
+  /// Record a new replica of `chunk` on `node` (the metadata half of a
+  /// finished re-replication copy). The chunk must not already live there.
+  void register_replica(ChunkId chunk, NodeId node);
+
+  /// Drop the replica of `chunk` on `node`. It must exist.
+  void unregister_replica(ChunkId chunk, NodeId node);
+
+  /// Nodes not decommissioned, ascending.
+  std::vector<NodeId> alive_nodes() const;
+
   /// HDFS-style balancer: repeatedly move one replica from the node with the
   /// most replicas to the node with the fewest (that lacks the chunk) until
   /// the spread (max - min replica count) is <= `tolerance` or no legal move

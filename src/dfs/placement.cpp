@@ -91,6 +91,25 @@ std::vector<NodeId> RoundRobinPlacement::place(const Topology& topo, NodeId /*wr
   return chosen;
 }
 
+std::vector<NodeId> SpreadPlacement::place(const Topology& topo, NodeId /*writer*/,
+                                           std::uint32_t replication, Rng& /*rng*/) {
+  OPASS_REQUIRE(replication <= topo.node_count(),
+                "replication factor exceeds cluster size");
+  if (counts_.size() < topo.node_count()) counts_.resize(topo.node_count(), 0);
+
+  // Select the `replication` least-loaded nodes, smallest id on ties:
+  // deterministic, and exactly the maximal-spread rule of arXiv 1808.07545
+  // when chunks arrive one at a time.
+  std::vector<NodeId> order(topo.node_count());
+  for (NodeId n = 0; n < topo.node_count(); ++n) order[n] = n;
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    return counts_[a] != counts_[b] ? counts_[a] < counts_[b] : a < b;
+  });
+  std::vector<NodeId> chosen(order.begin(), order.begin() + replication);
+  for (NodeId n : chosen) ++counts_[n];
+  return chosen;
+}
+
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
   switch (kind) {
     case PlacementKind::kRandom:
@@ -99,6 +118,8 @@ std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
       return std::make_unique<HdfsDefaultPlacement>();
     case PlacementKind::kRoundRobin:
       return std::make_unique<RoundRobinPlacement>();
+    case PlacementKind::kSpread:
+      return std::make_unique<SpreadPlacement>();
   }
   OPASS_CHECK(false, "unknown placement kind");
 }
@@ -111,6 +132,8 @@ const char* placement_kind_name(PlacementKind kind) {
       return "hdfs-default";
     case PlacementKind::kRoundRobin:
       return "round-robin";
+    case PlacementKind::kSpread:
+      return "spread";
   }
   return "?";
 }

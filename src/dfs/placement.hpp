@@ -5,9 +5,24 @@
 // classic HDFS writer-local + rack-aware pipeline and a round-robin balancer
 // policy are provided for ablations (bench/ablation_policies): Opass's gain
 // shrinks as placement gets more even, exactly as Section IV-B discusses for
-// full matchings.
+// full matchings. kSpread implements the service-rate-maximizing allocation
+// of "On Distributed Storage Allocations of Large Files for Maximum Service
+// Rate" (arXiv 1808.07545): spreading a file's chunks across the maximal
+// number of storage nodes — here, always placing on the currently
+// least-loaded nodes — maximizes the rate at which parallel readers can be
+// served, and it keeps layouts even under churn (new nodes absorb new
+// replicas first). The failure-model catalog in DESIGN.md §11 maps each
+// policy to the churn scenario it supports.
+//
+// Thread-safety: policies are single-threaded — place() mutates internal
+// policy state (RoundRobinPlacement::next_, SpreadPlacement::counts_) with
+// no synchronization, matching the single simulation thread that drives
+// every experiment. Share one policy across threads only behind an
+// opass::Mutex with the fields annotated OPASS_GUARDED_BY (see
+// common/thread_annotations.hpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,8 +39,13 @@ class PlacementPolicy {
   virtual ~PlacementPolicy() = default;
 
   /// Choose replica nodes. `writer` is the node issuing the write, or
-  /// kInvalidNode for an external client. Must return `replication` distinct
-  /// valid node ids; callers validate via OPASS checks in the NameNode.
+  /// kInvalidNode for an external client.
+  ///
+  /// Preconditions: `replication` >= 1 and <= topo.node_count().
+  /// Postconditions: returns exactly `replication` distinct node ids, each
+  /// < topo.node_count(); callers validate via OPASS checks in the NameNode.
+  /// Stateful policies (round-robin, spread) must tolerate `topo` growing
+  /// between calls (churn joins add nodes mid-run).
   virtual std::vector<NodeId> place(const Topology& topo, NodeId writer,
                                     std::uint32_t replication, Rng& rng) = 0;
 
@@ -63,8 +83,25 @@ class RoundRobinPlacement final : public PlacementPolicy {
   std::uint64_t next_ = 0;
 };
 
+/// Service-rate-maximizing spread allocation (arXiv 1808.07545): each chunk's
+/// replicas go to the `replication` nodes currently holding the fewest
+/// replicas placed by this policy (ties broken by smallest node id, so the
+/// layout is a pure function of the placement sequence — no RNG draw).
+/// Spreading over the maximal node set maximizes the aggregate service rate
+/// parallel readers see; unlike round-robin, the policy tracks loads, so a
+/// node joining mid-run (churn) absorbs the next writes until it catches up.
+class SpreadPlacement final : public PlacementPolicy {
+ public:
+  std::vector<NodeId> place(const Topology& topo, NodeId writer, std::uint32_t replication,
+                            Rng& rng) override;
+  std::string name() const override { return "spread"; }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // replicas this policy placed per node
+};
+
 /// Named policy selection for configs and CLI flags.
-enum class PlacementKind { kRandom, kHdfsDefault, kRoundRobin };
+enum class PlacementKind { kRandom, kHdfsDefault, kRoundRobin, kSpread };
 
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
 const char* placement_kind_name(PlacementKind kind);

@@ -1,6 +1,7 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/require.hpp"
@@ -17,11 +18,36 @@ namespace {
 /// Derived deterministic RNG streams so placement is identical across
 /// methods while assignment/execution noise stays independent.
 struct Streams {
-  Rng placement, assign, exec;
+  Rng placement, assign, exec, faults;
   explicit Streams(std::uint64_t seed)
       : placement(seed * 2654435761ULL + 1),
         assign(seed * 2654435761ULL + 2),
-        exec(seed * 2654435761ULL + 3) {}
+        exec(seed * 2654435761ULL + 3),
+        faults(seed * 2654435761ULL + 4) {}
+};
+
+/// Heartbeat + injector pair armed on a run's cluster when the config carries
+/// a fault plan. Construct before runtime::execute; the scripted events and
+/// detection checks are simulator timers, so they interleave with the job's
+/// reads deterministically.
+struct FaultHarness {
+  std::unique_ptr<sim::HeartbeatMonitor> monitor;
+  std::unique_ptr<sim::FaultInjector> injector;
+
+  FaultHarness(const ExperimentConfig& cfg, sim::Cluster& cluster, dfs::NameNode& nn,
+               Rng& rng) {
+    if (cfg.faults == nullptr) return;
+    monitor = std::make_unique<sim::HeartbeatMonitor>(cluster, nn, /*namenode_host=*/0, rng,
+                                                      cfg.heartbeat);
+    injector = std::make_unique<sim::FaultInjector>(cluster, nn, *monitor, *cfg.faults);
+    injector->set_probe(cfg.fault_probe);
+    injector->arm();
+    monitor->start(cfg.faults->horizon);
+  }
+
+  void export_stats(const ExperimentConfig& cfg) const {
+    if (injector && cfg.fault_stats != nullptr) *cfg.fault_stats = injector->stats();
+  }
 };
 
 dfs::NameNode make_namenode(const ExperimentConfig& cfg) {
@@ -149,7 +175,7 @@ namespace {
 /// Shared tail of the static-plan scenarios: replay the assignment on the
 /// flow simulator and reduce the trace.
 RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng& exec_rng,
-                           Method method) {
+                           Rng& fault_rng, Method method) {
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::StaticAssignmentSource source(sc.assignment);
   runtime::ExecutorConfig ec;
@@ -158,8 +184,10 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
   ec.probe = timeline.executor_probe();
   timeline.add_expected_bytes(runtime::total_task_bytes(sc.nn, sc.tasks));
+  FaultHarness faults(cfg, cluster, sc.nn, fault_rng);
   const auto exec = runtime::execute(cluster, sc.nn, sc.tasks, source, exec_rng, ec);
   timeline.finish();
+  faults.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
   return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
 }
@@ -170,14 +198,14 @@ RunOutput run_single_data(const ExperimentConfig& cfg, std::uint32_t chunk_count
                           Method method) {
   Streams streams(cfg.seed);
   auto sc = plan_single_data(cfg, chunk_count, method);
-  return simulate_planned(cfg, sc, streams.exec, method);
+  return simulate_planned(cfg, sc, streams.exec, streams.faults, method);
 }
 
 RunOutput run_multi_data(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
                          const workload::MultiInputSpec& spec) {
   Streams streams(cfg.seed);
   auto sc = plan_multi_data(cfg, task_count, method, spec);
-  return simulate_planned(cfg, sc, streams.exec, method);
+  return simulate_planned(cfg, sc, streams.exec, streams.faults, method);
 }
 
 RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Method method,
@@ -201,8 +229,10 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
 
   if (method == Method::kBaseline) {
     runtime::MasterWorkerSource source(task_count, streams.assign, /*shuffle=*/true);
+    FaultHarness faults(cfg, cluster, nn, streams.faults);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
     timeline.finish();
+    faults.export_stats(cfg);
     observe_run(cfg, method, exec, cluster);
     return reduce(nn, tasks, exec, placement, nullptr);
   }
@@ -211,8 +241,47 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   auto guideline = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, tasks, placement,
                                     streams.assign);
   core::OpassDynamicSource source(guideline, nn, tasks, placement);
+  FaultHarness faults(cfg, cluster, nn, streams.faults);
+  if (faults.injector) {
+    // Membership changes feed back into the scheduler (DESIGN.md §11): a
+    // detected death re-homes the dead node's pending list immediately; once
+    // the layout settles again (join, recovery complete) the remaining tasks
+    // are re-planned through the core::plan() facade and adopted as the new
+    // guideline A*.
+    faults.injector->set_membership_callback(
+        [&](Seconds /*now*/, sim::MembershipEvent ev, dfs::NodeId node) {
+          if (ev == sim::MembershipEvent::kNodeDead) {
+            source.on_node_dead(node);
+            return;
+          }
+          if (ev != sim::MembershipEvent::kNodeJoined &&
+              ev != sim::MembershipEvent::kRecoveryComplete)
+            return;
+          const auto remaining = source.remaining_task_ids();
+          if (remaining.empty()) return;
+          // Re-plan the pending tasks (renumbered densely for the matcher,
+          // mapped back to original ids for the scheduler).
+          std::vector<runtime::Task> sub;
+          sub.reserve(remaining.size());
+          for (runtime::TaskId id : remaining) {
+            runtime::Task copy = tasks[id];
+            copy.id = static_cast<runtime::TaskId>(sub.size());
+            sub.push_back(std::move(copy));
+          }
+          core::PlanOptions options;
+          options.planner = core::PlannerKind::kSingleData;
+          options.algorithm = cfg.flow_algorithm;
+          auto sub_assignment =
+              core::plan({&nn, &sub, &placement, &streams.assign}, options).assignment;
+          runtime::Assignment mapped(sub_assignment.size());
+          for (std::size_t p = 0; p < sub_assignment.size(); ++p)
+            for (runtime::TaskId t : sub_assignment[p]) mapped[p].push_back(remaining[t]);
+          source.adopt_guideline(mapped);
+        });
+  }
   const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
   timeline.finish();
+  faults.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
   if (cfg.metrics != nullptr) obs::collect_dynamic(*cfg.metrics, source, "opass.dynamic");
   auto out = reduce(nn, tasks, exec, placement, &guideline);

@@ -69,6 +69,18 @@ void ChromeTraceBuilder::add_counter(std::uint32_t pid, const std::string& name,
   events_.push_back(std::move(e));
 }
 
+void ChromeTraceBuilder::add_instant(std::uint32_t pid, const std::string& name,
+                                     double ts_us, const char* category) {
+  OPASS_REQUIRE(ts_us >= 0, "instant event before the epoch");
+  Event e;
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.ph = 'i';
+  e.name = name;
+  e.cat = category;
+  events_.push_back(std::move(e));
+}
+
 std::string ChromeTraceBuilder::json() const {
   std::vector<const Event*> order;
   order.reserve(events_.size());
@@ -113,6 +125,8 @@ std::string ChromeTraceBuilder::json() const {
     if (e->ph == 'X') {
       line += ", \"ph\": \"X\", \"ts\": " + format_double(e->ts_us) +
               ", \"dur\": " + format_double(e->dur_us);
+    } else if (e->ph == 'i') {
+      line += ", \"ph\": \"i\", \"s\": \"g\", \"ts\": " + format_double(e->ts_us);
     } else {
       line += ", \"ph\": \"C\", \"ts\": " + format_double(e->ts_us);
     }

@@ -45,6 +45,13 @@ class ChromeTraceBuilder {
   void add_counter(std::uint32_t pid, const std::string& name, double ts_us,
                    double value);
 
+  /// Append one global instant ("i", scope "g") event — a vertical marker
+  /// across the whole trace. Used for failure-model transitions (crash,
+  /// detection, recovery-complete) so fault timing lines up visually with
+  /// the read/task spans it perturbs.
+  void add_instant(std::uint32_t pid, const std::string& name, double ts_us,
+                   const char* category = "fault");
+
   /// Number of duration and counter events added so far (metadata not
   /// counted).
   std::size_t event_count() const { return events_.size(); }
@@ -62,7 +69,7 @@ class ChromeTraceBuilder {
     double dur_us = 0;  ///< duration in trace microseconds (>= 0; "X" only)
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
-    char ph = 'X';      ///< "X" duration or "C" counter
+    char ph = 'X';      ///< "X" duration, "C" counter, or "i" global instant
     std::string name;
     const char* cat = "";
     std::string args_json;  ///< rendered {...} args object, may be empty

@@ -1,0 +1,65 @@
+#include "obs/fault_log.hpp"
+
+namespace opass::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::string describe(const sim::FaultEvent& event) {
+  const std::string kind = sim::fault_kind_name(event.kind);
+  switch (event.kind) {
+    case sim::FaultKind::kSlow:
+      return kind + " node " + std::to_string(event.node) + " x" +
+             std::to_string(event.factor);
+    case sim::FaultKind::kJoin:
+      return kind + " rack " + std::to_string(event.rack);
+    case sim::FaultKind::kRebalance:
+      return kind + " tolerance " + std::to_string(event.tolerance);
+    case sim::FaultKind::kCrash:
+    case sim::FaultKind::kRestore:
+    case sim::FaultKind::kDecommission:
+      return kind + " node " + std::to_string(event.node);
+  }
+  return kind;
+}
+
+}  // namespace
+
+FaultEventLog::FaultEventLog(TimelineRecorder* recorder) : recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    dead_nodes_ = recorder_->add_level_series("timeline.faults.dead_nodes");
+    copy_rate_ = recorder_->add_rate_series("timeline.faults.rereplication_rate");
+  }
+}
+
+void FaultEventLog::on_fault(Seconds now, const sim::FaultEvent& event) {
+  entries_.push_back({now, describe(event)});
+  if (recorder_ != nullptr && event.kind == sim::FaultKind::kCrash)
+    recorder_->record_level(dead_nodes_, now, static_cast<double>(++dead_));
+}
+
+void FaultEventLog::on_detection(Seconds now, dfs::NodeId node) {
+  entries_.push_back({now, "detected node " + std::to_string(node) + " dead"});
+}
+
+void FaultEventLog::on_copy(Seconds now, dfs::ChunkId /*chunk*/, dfs::NodeId /*src*/,
+                            dfs::NodeId /*dst*/, Bytes bytes) {
+  ++copies_;
+  copied_bytes_ += bytes;
+  if (recorder_ != nullptr)
+    recorder_->record_rate(copy_rate_, now, static_cast<double>(bytes));
+}
+
+void FaultEventLog::on_recovery_complete(Seconds now, dfs::NodeId node) {
+  entries_.push_back({now, node == dfs::kInvalidNode
+                               ? std::string("rebalance complete")
+                               : "recovery of node " + std::to_string(node) + " complete"});
+}
+
+void FaultEventLog::add_instants(ChromeTraceBuilder& builder, std::uint32_t pid) const {
+  for (const Entry& e : entries_)
+    builder.add_instant(pid, e.label, e.at * kMicrosPerSecond);
+}
+
+}  // namespace opass::obs

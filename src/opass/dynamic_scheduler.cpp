@@ -1,5 +1,7 @@
 #include "opass/dynamic_scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 
 namespace opass::core {
@@ -63,6 +65,75 @@ std::optional<runtime::TaskId> OpassDynamicSource::next_task(runtime::ProcessId 
   ++steals_;
   if (co_located_bytes(process, t) > 0) ++steal_local_hits_;
   return t;
+}
+
+bool OpassDynamicSource::on_dead_node(runtime::ProcessId process) const {
+  return std::find(dead_nodes_.begin(), dead_nodes_.end(), placement_[process]) !=
+         dead_nodes_.end();
+}
+
+void OpassDynamicSource::on_node_dead(dfs::NodeId node) {
+  if (std::find(dead_nodes_.begin(), dead_nodes_.end(), node) != dead_nodes_.end()) return;
+  dead_nodes_.push_back(node);
+
+  for (std::size_t p = 0; p < lists_.size(); ++p) {
+    if (placement_[p] != node) continue;
+    std::deque<runtime::TaskId> orphans;
+    orphans.swap(lists_[p]);
+    for (runtime::TaskId t : orphans) {
+      // Best co-located alive process, ties to the smallest id.
+      std::size_t best = lists_.size();
+      Bytes best_bytes = 0;
+      for (std::size_t q = 0; q < lists_.size(); ++q) {
+        if (on_dead_node(static_cast<runtime::ProcessId>(q))) continue;
+        const Bytes b = co_located_bytes(static_cast<runtime::ProcessId>(q), t);
+        if (best == lists_.size() || b > best_bytes) {
+          best = q;
+          best_bytes = b;
+        }
+      }
+      if (best == lists_.size()) {
+        lists_[p].push_back(t);  // every process is on a dead node: keep it
+        continue;
+      }
+      if (best_bytes == 0) {
+        // No surviving co-located replica anywhere: balance instead — the
+        // shortest alive list takes it (ties to the smallest id).
+        for (std::size_t q = 0; q < lists_.size(); ++q) {
+          if (on_dead_node(static_cast<runtime::ProcessId>(q))) continue;
+          if (lists_[q].size() < lists_[best].size()) best = q;
+        }
+      }
+      lists_[best].push_back(t);
+      ++failure_reassignments_;
+    }
+  }
+}
+
+std::uint32_t OpassDynamicSource::remaining_tasks() const {
+  std::size_t n = 0;
+  for (const auto& l : lists_) n += l.size();
+  return static_cast<std::uint32_t>(n);
+}
+
+std::vector<runtime::TaskId> OpassDynamicSource::remaining_task_ids() const {
+  std::vector<runtime::TaskId> ids;
+  ids.reserve(remaining_tasks());
+  for (const auto& l : lists_) ids.insert(ids.end(), l.begin(), l.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void OpassDynamicSource::adopt_guideline(const runtime::Assignment& guideline) {
+  OPASS_REQUIRE(guideline.size() == lists_.size(),
+                "guideline and placement disagree on process count");
+  std::vector<runtime::TaskId> incoming;
+  for (const auto& l : guideline) incoming.insert(incoming.end(), l.begin(), l.end());
+  std::sort(incoming.begin(), incoming.end());
+  OPASS_REQUIRE(incoming == remaining_task_ids(),
+                "adopted guideline must cover exactly the remaining tasks");
+  for (std::size_t p = 0; p < guideline.size(); ++p)
+    lists_[p].assign(guideline[p].begin(), guideline[p].end());
 }
 
 }  // namespace opass::core

@@ -167,8 +167,38 @@ const char* audit_code_name(AuditCode code) {
     case AuditCode::kCapacityExceeded: return "capacity-exceeded";
     case AuditCode::kStatsMismatch: return "stats-mismatch";
     case AuditCode::kRoundTripMismatch: return "round-trip-mismatch";
+    case AuditCode::kTaskNotExecuted: return "task-not-executed";
+    case AuditCode::kTaskExecutedTwice: return "task-executed-twice";
   }
   return "unknown";
+}
+
+AuditReport audit_completion(std::uint32_t task_count,
+                             const std::vector<runtime::TaskId>& executed_tasks) {
+  AuditReport report;
+  std::vector<std::uint32_t> runs(task_count, 0);
+  for (runtime::TaskId t : executed_tasks) {
+    if (t >= task_count) {
+      std::ostringstream os;
+      os << "execution reports task " << t << " but the job has only " << task_count
+         << " tasks";
+      add_issue(report, AuditCode::kUnknownTask, os.str());
+      continue;
+    }
+    ++runs[t];
+  }
+  for (std::uint32_t t = 0; t < task_count; ++t) {
+    if (runs[t] == 1) continue;
+    std::ostringstream os;
+    if (runs[t] == 0) {
+      os << "task " << t << " never executed";
+      add_issue(report, AuditCode::kTaskNotExecuted, os.str());
+    } else {
+      os << "task " << t << " executed " << runs[t] << " times";
+      add_issue(report, AuditCode::kTaskExecutedTwice, os.str());
+    }
+  }
+  return report;
 }
 
 bool AuditReport::has(AuditCode code) const {

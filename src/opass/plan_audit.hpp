@@ -45,6 +45,8 @@ enum class AuditCode {
   kCapacityExceeded,      ///< single-data: a process exceeds its TotalSize/m share
   kStatsMismatch,         ///< byte accounting disagrees with assignment_stats
   kRoundTripMismatch,     ///< plan_io serialize/parse does not reproduce the plan
+  kTaskNotExecuted,       ///< completion audit: a task never ran
+  kTaskExecutedTwice,     ///< completion audit: a task ran more than once
 };
 
 /// Stable lower-case name of a code (e.g. "duplicate-task"), for messages
@@ -91,5 +93,13 @@ struct AuditReport {
 AuditReport audit_plan(const dfs::NameNode& nn, const std::vector<runtime::Task>& tasks,
                        const runtime::Assignment& assignment,
                        const ProcessPlacement& placement, const AuditOptions& options = {});
+
+/// Exactly-once completion audit: every task id in [0, task_count) must
+/// appear exactly once among `executed_tasks` (e.g. the task ids of
+/// runtime::ExecutionResult::task_spans). This is the post-run half of the
+/// determinism contract under faults — crash/reassign recovery must neither
+/// drop nor re-run a task (DESIGN.md §11).
+AuditReport audit_completion(std::uint32_t task_count,
+                             const std::vector<runtime::TaskId>& executed_tasks);
 
 }  // namespace opass::core

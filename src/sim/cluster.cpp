@@ -9,8 +9,9 @@ Cluster::Cluster(std::uint32_t node_count, ClusterParams params)
 
 Cluster::Cluster(const dfs::Topology& topology, ClusterParams params)
     : node_count_(topology.node_count()), params_(params), inflight_(node_count_, 0),
-      served_(node_count_, 0), failed_(node_count_, 0), serving_(node_count_, 0),
-      waiting_(node_count_), admission_waits_(node_count_, 0), peak_queue_(node_count_, 0) {
+      served_(node_count_, 0), failed_(node_count_, 0), speed_(node_count_, 1.0),
+      serving_(node_count_, 0), waiting_(node_count_), admission_waits_(node_count_, 0),
+      peak_queue_(node_count_, 0) {
   OPASS_REQUIRE(node_count_ > 0, "cluster needs at least one node");
   disk_.reserve(node_count_);
   nic_in_.reserve(node_count_);
@@ -28,6 +29,41 @@ Cluster::Cluster(const dfs::Topology& topology, ClusterParams params)
       rack_down_.push_back(sim_.add_resource(params_.rack_uplink_bandwidth));
     }
   }
+}
+
+void Cluster::degrade_node(dfs::NodeId node, double factor) {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  OPASS_REQUIRE(factor > 0 && factor <= 1.0, "speed factor must be in (0, 1]");
+  speed_[node] = factor;
+  sim_.set_resource_capacity(disk_[node], params_.disk_bandwidth * factor);
+  sim_.set_resource_capacity(nic_in_[node], params_.nic_bandwidth * factor);
+  sim_.set_resource_capacity(nic_out_[node], params_.nic_bandwidth * factor);
+}
+
+void Cluster::restore_node(dfs::NodeId node) { degrade_node(node, 1.0); }
+
+double Cluster::speed_factor(dfs::NodeId node) const {
+  OPASS_REQUIRE(node < node_count_, "node out of range");
+  return speed_[node];
+}
+
+dfs::NodeId Cluster::add_node(dfs::RackId rack) {
+  if (!rack_up_.empty())
+    OPASS_REQUIRE(rack < rack_up_.size(), "new node's rack has no modeled uplink");
+  const dfs::NodeId id = node_count_++;
+  disk_.push_back(sim_.add_resource(params_.disk_bandwidth, params_.disk_beta));
+  nic_in_.push_back(sim_.add_resource(params_.nic_bandwidth));
+  nic_out_.push_back(sim_.add_resource(params_.nic_bandwidth));
+  rack_of_node_.push_back(rack);
+  inflight_.push_back(0);
+  served_.push_back(0);
+  failed_.push_back(0);
+  speed_.push_back(1.0);
+  serving_.push_back(0);
+  waiting_.emplace_back();
+  admission_waits_.push_back(0);
+  peak_queue_.push_back(0);
+  return id;
 }
 
 dfs::RackId Cluster::rack_of(dfs::NodeId node) const {
@@ -73,6 +109,25 @@ std::uint32_t Cluster::peak_admission_queue(dfs::NodeId node) const {
 void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
                    std::function<void(Seconds)> on_complete,
                    std::function<void(Seconds)> on_failure) {
+  start_read(reader, server, bytes, /*copy=*/false, std::move(on_complete),
+             std::move(on_failure));
+}
+
+void Cluster::replicate(dfs::NodeId src, dfs::NodeId dst, Bytes bytes,
+                        std::function<void(Seconds)> on_complete,
+                        std::function<void(Seconds)> on_failure) {
+  OPASS_REQUIRE(src != dst, "replication source and destination must differ");
+  OPASS_REQUIRE(dst < node_count_ && !failed_[dst], "replication target is not alive");
+  // A copy is a remote read issued by `dst` whose path also includes dst's
+  // disk (the write side of the pipeline): same slot pool, same admission
+  // gate on the serving node, same abort-on-source-failure semantics.
+  start_read(dst, src, bytes, /*copy=*/true, std::move(on_complete),
+             std::move(on_failure));
+}
+
+void Cluster::start_read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes, bool copy,
+                         std::function<void(Seconds)> on_complete,
+                         std::function<void(Seconds)> on_failure) {
   OPASS_REQUIRE(reader < node_count_ && server < node_count_, "node out of range");
   if (failed_[server]) {
     // Addressing a dead server: fail after the connection-attempt latency.
@@ -102,6 +157,7 @@ void Cluster::read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes,
   op.active = true;
   op.admitted = false;
   op.transferring = false;
+  op.copy = copy;
   op.on_complete = std::move(on_complete);
   op.on_failure = std::move(on_failure);
   const ReadId id = (static_cast<ReadId>(op.tag) << 32) | slot;
@@ -161,6 +217,7 @@ void Cluster::admit(ReadId id) {
         path.push_back(rack_up_[rack_of_node_[read.server]]);
         path.push_back(rack_down_[rack_of_node_[read.reader]]);
       }
+      if (read.copy) path.push_back(disk_[read.reader]);  // write side of a copy
     }
     const BytesPerSec cap = read.reader == read.server ? 0.0 : params_.remote_stream_cap;
     read.transferring = true;

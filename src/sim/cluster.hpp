@@ -102,6 +102,37 @@ class Cluster {
   /// recovery (re-replication) lives in dfs::NameNode::decommission_node.
   void fail_node(dfs::NodeId node, Seconds when);
 
+  /// Scale `node`'s disk and NIC capacities by `factor` in (0, 1], effective
+  /// immediately (active transfers re-level at the current virtual time).
+  /// Models a straggler: overloaded VM, failing disk, background scan.
+  /// Factors don't compound — the factor is always relative to the
+  /// calibrated base rates, so degrade(0.5) then degrade(0.25) leaves the
+  /// node at 25%, and restore_node puts it back at 100%.
+  void degrade_node(dfs::NodeId node, double factor);
+
+  /// Undo degrade_node: the node's disk and NICs return to full speed.
+  void restore_node(dfs::NodeId node);
+
+  /// Current speed factor of a node (1.0 = full speed).
+  double speed_factor(dfs::NodeId node) const;
+
+  /// Grow the cluster by one node on `rack` at the current virtual time;
+  /// returns the new node's id (== old node_count()). The new node starts
+  /// idle, healthy and empty. When rack uplinks are modeled, `rack` must be
+  /// an existing rack. Mirrors dfs::NameNode::add_node — callers keep the
+  /// two membership views in step (sim::FaultInjector does this).
+  dfs::NodeId add_node(dfs::RackId rack = 0);
+
+  /// Replicate `bytes` from `src`'s disk onto `dst`'s disk (re-replication /
+  /// balancer traffic). The transfer streams through src's disk and NIC-out,
+  /// dst's NIC-in and disk (plus rack uplinks when modeled), competing with
+  /// reads for the same resources, and it respects the per-node admission
+  /// gate on `src`. If `src` fails before completion, `on_failure(time)`
+  /// fires instead (dst failing mid-copy is not modeled).
+  void replicate(dfs::NodeId src, dfs::NodeId dst, Bytes bytes,
+                 std::function<void(Seconds)> on_complete,
+                 std::function<void(Seconds)> on_failure = nullptr);
+
   /// True once the node's failure time has passed.
   bool is_failed(dfs::NodeId node) const;
 
@@ -181,11 +212,15 @@ class Cluster {
     bool active = false;        // slot occupied
     bool admitted = false;      // past the per-node admission gate
     bool transferring = false;  // false while in the positioning phase
+    bool copy = false;          // replicate(): destination disk joins the path
     FlowId flow = 0;            // valid when transferring
     std::function<void(Seconds)> on_complete;
     std::function<void(Seconds)> on_failure;
   };
 
+  void start_read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes, bool copy,
+                  std::function<void(Seconds)> on_complete,
+                  std::function<void(Seconds)> on_failure);
   void admit(ReadId id);
   void retire_read(std::uint32_t slot);
   void release_serve_slot(dfs::NodeId server);
@@ -200,6 +235,7 @@ class Cluster {
   std::vector<std::uint32_t> inflight_;
   std::vector<Bytes> served_;
   std::vector<char> failed_;
+  std::vector<double> speed_;  // per-node capacity factor, 1.0 = full speed
   bool any_failed_ = false;
   std::vector<ReadOp> read_pool_;               // slot pool, free-list reused
   std::vector<std::uint32_t> free_read_slots_;

@@ -1,0 +1,239 @@
+// Deterministic fault-injection and churn: scripted virtual-time events
+// driven through heartbeat detection and traffic-modelled recovery.
+//
+// A FaultPlan is a list of timestamped events — node crash, slow-node
+// (straggler) rate degradation and restoration, node join, graceful
+// decommission, rebalance — loaded from a small JSON file (--fault-plan) or
+// built in code. The FaultInjector arms the plan on a Cluster + NameNode +
+// HeartbeatMonitor triple:
+//
+//   * crash      -> Cluster::fail_node; the heartbeat monitor detects the
+//                   silence and hands the node to the injector, which
+//                   re-replicates every chunk the node held as *real
+//                   simulated copies* (source disk + NICs + destination
+//                   disk) that compete with application reads for bandwidth;
+//   * slow/restore -> Cluster::degrade_node / restore_node (active
+//                   transfers re-level at the event time);
+//   * join       -> NameNode::add_node + Cluster::add_node + heartbeat
+//                   watch; new nodes absorb re-replication and rebalance
+//                   traffic;
+//   * decommission -> graceful drain: the node keeps serving while its
+//                   chunks are copied away, then leaves (safe at r = 1,
+//                   unlike a crash, which loses r = 1 chunks);
+//   * rebalance  -> the HDFS balancer's move plan (most- to least-loaded,
+//                   deterministic ties) executed as traffic.
+//
+// Determinism (DESIGN.md §11). Every recovery decision is a deterministic
+// function of the metadata at the decision point: work lists are processed
+// in ascending chunk id, copy sources are the smallest-id alive replica
+// holder, copy targets the least-loaded alive node (ties by smallest id),
+// and concurrent copies are bounded by a FIFO of plan order. No RNG is
+// drawn, so a seeded run with a fault plan replays byte-identically.
+//
+// Thread-safety: single-threaded, like the rest of the simulator — all
+// members are confined to the simulation thread (see
+// common/thread_annotations.hpp for the vocabulary used once state is
+// shared across threads).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dfs/namenode.hpp"
+#include "dfs/types.hpp"
+#include "sim/cluster.hpp"
+#include "sim/heartbeat.hpp"
+
+namespace opass::sim {
+
+/// Scripted event taxonomy (DESIGN.md §11 documents the full model).
+enum class FaultKind {
+  kCrash,         ///< fail-stop: node dies, its reads abort, heartbeats cease
+  kSlow,          ///< straggler: disk + NIC capacities scaled by `factor`
+  kRestore,       ///< undo kSlow: node back to full speed
+  kJoin,          ///< churn: an empty node joins on `rack`
+  kDecommission,  ///< graceful drain: copy chunks away, then leave
+  kRebalance,     ///< run the balancer's move plan as real traffic
+};
+
+/// "crash" | "slow" | ... — stable names used by the JSON format.
+const char* fault_kind_name(FaultKind kind);
+
+/// Parse a kind name; unknown names throw with the offending string and the
+/// accepted set (same contract as core::parse_planner_kind).
+FaultKind parse_fault_kind(const std::string& name);
+
+/// One scripted event. Which fields are meaningful depends on `kind`:
+/// node (crash/slow/restore/decommission), factor (slow), rack (join),
+/// tolerance (rebalance).
+struct FaultEvent {
+  Seconds at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  dfs::NodeId node = dfs::kInvalidNode;
+  double factor = 1.0;
+  dfs::RackId rack = 0;
+  std::uint32_t tolerance = 1;
+};
+
+/// A full scripted scenario.
+struct FaultPlan {
+  /// Heartbeat/monitoring horizon: beats and miss checks run until here.
+  Seconds horizon = 120.0;
+  /// Re-replication / rebalance copy streams in flight at once (the HDFS
+  /// dfs.namenode.replication.max-streams analogue).
+  std::uint32_t max_concurrent_copies = 4;
+  std::vector<FaultEvent> events;
+};
+
+/// Parse the JSON fault-plan format:
+///
+///   {"horizon": 120.0, "max_concurrent_copies": 4, "events": [
+///     {"at": 3.0,  "kind": "crash", "node": 17},
+///     {"at": 5.0,  "kind": "slow", "node": 4, "factor": 0.25},
+///     {"at": 40.0, "kind": "restore", "node": 4},
+///     {"at": 10.0, "kind": "join", "rack": 0},
+///     {"at": 12.0, "kind": "rebalance", "tolerance": 1},
+///     {"at": 20.0, "kind": "decommission", "node": 9}]}
+///
+/// Malformed input throws std::invalid_argument naming the offending field
+/// ("fault plan event 1: missing field \"node\" ..."). Node ids are range-
+/// checked against the cluster at FaultInjector::arm(), not here.
+FaultPlan parse_fault_plan(const std::string& json_text);
+
+/// Read `path` and parse_fault_plan its contents.
+FaultPlan load_fault_plan(const std::string& path);
+
+/// Fault-lifecycle observer. The injector stays metric-blind (DESIGN.md §8):
+/// it reports transitions; obs::FaultEventLog turns them into trace events
+/// and metrics. Callbacks fire after the injector's own accounting updated.
+class FaultProbe {
+ public:
+  virtual ~FaultProbe() = default;
+
+  /// A scripted event was applied at `now` (for kCrash this is injection
+  /// time; detection is reported separately).
+  virtual void on_fault(Seconds now, const FaultEvent& event) = 0;
+
+  /// The heartbeat monitor declared `node` dead and recovery began.
+  virtual void on_detection(Seconds now, dfs::NodeId node) = 0;
+
+  /// One re-replication/rebalance copy of `bytes` for `chunk` landed on
+  /// `dst` (sourced from `src`).
+  virtual void on_copy(Seconds now, dfs::ChunkId chunk, dfs::NodeId src, dfs::NodeId dst,
+                       Bytes bytes) = 0;
+
+  /// A recovery drive (crash re-replication, drain, or rebalance) finished
+  /// its last copy. `node` is the recovered/drained node, or kInvalidNode
+  /// for a rebalance.
+  virtual void on_recovery_complete(Seconds now, dfs::NodeId node) = 0;
+};
+
+/// Counters accumulated over an armed plan.
+struct FaultStats {
+  std::uint32_t crashes = 0;
+  std::uint32_t slowdowns = 0;
+  std::uint32_t restores = 0;
+  std::uint32_t joins = 0;
+  std::uint32_t decommissions = 0;
+  std::uint32_t rebalances = 0;
+  std::uint32_t recoveries = 0;       ///< recovery drives completed
+  std::uint32_t replicas_copied = 0;  ///< copies that landed
+  Bytes rereplicated_bytes = 0;       ///< bytes those copies moved
+  std::uint32_t lost_chunks = 0;      ///< crash left a chunk with no replica
+  std::uint32_t aborted_copies = 0;   ///< copies dropped/retried (source died,
+                                      ///< or metadata moved underneath them)
+};
+
+/// Membership/layout transitions the scheduler layer may react to
+/// (exp::run_dynamic re-plans the Opass guideline on these).
+enum class MembershipEvent {
+  kNodeDead,          ///< detection: `node` was declared dead
+  kNodeJoined,        ///< `node` joined the cluster
+  kRecoveryComplete,  ///< crash re-replication for `node` finished
+  kDrainComplete,     ///< graceful decommission of `node` finished
+  kRebalanceComplete, ///< a rebalance drive finished (node = kInvalidNode)
+};
+
+/// Arms a FaultPlan: schedules the scripted events and drives deterministic,
+/// traffic-modelled recovery. Construct after the monitor, then call arm()
+/// exactly once, before Cluster::run(). The injector installs itself as the
+/// monitor's recovery handler.
+class FaultInjector {
+ public:
+  using MembershipCallback =
+      std::function<void(Seconds, MembershipEvent, dfs::NodeId)>;
+
+  /// Preconditions: `monitor` not started yet or started with the same
+  /// horizon; every event node id < cluster.node_count() at its event time
+  /// (join events extend the valid range in plan order).
+  FaultInjector(Cluster& cluster, dfs::NameNode& nn, HeartbeatMonitor& monitor,
+                FaultPlan plan);
+
+  /// Schedule every event and install the recovery handler. Call once.
+  void arm();
+
+  /// Attach (or with nullptr, detach) a fault probe. Borrowed; must outlive
+  /// the injector or be detached first.
+  void set_probe(FaultProbe* probe) { probe_ = probe; }
+
+  /// Register a membership-change callback (borrowed semantics: the callee
+  /// must stay valid for the simulation). Runs inside the event loop.
+  void set_membership_callback(MembershipCallback cb) { membership_ = std::move(cb); }
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// One queued copy: move `bytes` of `chunk` from `src` to `dst`. When
+  /// `remove_from` != kInvalidNode the copy is a *move* (drain/rebalance):
+  /// the source replica is unregistered after the copy lands.
+  struct Copy {
+    dfs::ChunkId chunk = 0;
+    dfs::NodeId src = dfs::kInvalidNode;
+    dfs::NodeId dst = dfs::kInvalidNode;
+    dfs::NodeId remove_from = dfs::kInvalidNode;
+    Bytes bytes = 0;
+    std::uint32_t drive = 0;  ///< index into drives_
+  };
+
+  /// One recovery operation (crash recovery, drain, rebalance) whose
+  /// completion is announced when its last pending copy resolves.
+  struct Drive {
+    dfs::NodeId node = dfs::kInvalidNode;  // kInvalidNode for rebalance
+    MembershipEvent done_event = MembershipEvent::kRecoveryComplete;
+    std::uint32_t pending = 0;
+  };
+
+  void apply(Seconds now, const FaultEvent& event);
+  void on_declared(dfs::NodeId node, Seconds now);
+  void start_drain(Seconds now, dfs::NodeId node);
+  void start_rebalance(Seconds now, std::uint32_t tolerance);
+  void enqueue(Copy copy);
+  void pump(Seconds now);
+  void finish_copy(Seconds now, const Copy& copy, bool landed);
+  dfs::NodeId pick_target(dfs::ChunkId chunk) const;
+  dfs::NodeId pick_source(dfs::ChunkId chunk) const;
+  bool node_usable(dfs::NodeId node) const;
+
+  Cluster& cluster_;
+  dfs::NameNode& nn_;
+  HeartbeatMonitor& monitor_;
+  FaultPlan plan_;
+  FaultProbe* probe_ = nullptr;
+  MembershipCallback membership_;
+  FaultStats stats_;
+  std::deque<Copy> queue_;
+  std::vector<Drive> drives_;
+  std::uint32_t active_copies_ = 0;
+  /// Chunk -> pending copy target, so two drives never race one chunk to
+  /// the same destination. Parallel arrays sorted by chunk id.
+  std::vector<dfs::ChunkId> pending_chunks_;
+  std::vector<dfs::NodeId> pending_targets_;
+  bool armed_ = false;
+};
+
+}  // namespace opass::sim

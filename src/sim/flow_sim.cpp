@@ -29,6 +29,19 @@ double FlowSimulator::bytes_left_at(const Flow& f, Seconds t) const {
   return left;
 }
 
+void FlowSimulator::set_resource_capacity(ResourceId r, BytesPerSec capacity) {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  OPASS_REQUIRE(capacity > 0, "resource capacity must be positive");
+  if (resources_[r].capacity == capacity) return;
+  resources_[r].capacity = capacity;
+  mark_dirty(r);
+}
+
+BytesPerSec FlowSimulator::resource_capacity(ResourceId r) const {
+  OPASS_REQUIRE(r < resources_.size(), "resource out of range");
+  return resources_[r].capacity;
+}
+
 void FlowSimulator::mark_dirty(ResourceId r) {
   Resource& res = resources_[r];
   if (!res.dirty) {

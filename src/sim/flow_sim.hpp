@@ -51,6 +51,15 @@ class FlowSimulator {
 
   std::uint32_t resource_count() const { return static_cast<std::uint32_t>(resources_.size()); }
 
+  /// Change a resource's base capacity in place (slow-node degradation and
+  /// restoration). Flows crossing the resource are re-leveled before the
+  /// next event is processed, so the new rate takes effect at the current
+  /// virtual time; progress up to now is committed at the old rate.
+  void set_resource_capacity(ResourceId r, BytesPerSec capacity);
+
+  /// Current base capacity of a resource (before concurrency degradation).
+  BytesPerSec resource_capacity(ResourceId r) const;
+
   /// Start a flow of `bytes` across `resources` now; `on_complete(end_time)`
   /// fires when the last byte arrives. Zero-byte flows complete immediately
   /// on the next event-loop step. `rate_cap` bounds the flow's own rate

@@ -25,6 +25,15 @@ void HeartbeatMonitor::start(Seconds horizon) {
   schedule_check(now + params_.interval, horizon);
 }
 
+void HeartbeatMonitor::watch_node(dfs::NodeId node, Seconds horizon) {
+  OPASS_REQUIRE(node == last_beat_.size(), "watch_node ids must stay dense");
+  OPASS_REQUIRE(node < cluster_.node_count(), "node not in the cluster yet");
+  const Seconds now = cluster_.simulator().now();
+  last_beat_.push_back(now);
+  declared_at_.push_back(-1.0);
+  schedule_beat(node, now + params_.interval, horizon);
+}
+
 void HeartbeatMonitor::schedule_beat(dfs::NodeId node, Seconds when, Seconds horizon) {
   if (when > horizon) return;
   cluster_.simulator().at(when, [this, node, when, horizon](Seconds) {
@@ -45,13 +54,20 @@ void HeartbeatMonitor::schedule_check(Seconds when, Seconds horizon) {
     const Seconds deadline =
         params_.interval * static_cast<double>(params_.miss_threshold) +
         params_.interval;  // one interval of slack for wire latency
-    for (dfs::NodeId n = 0; n < cluster_.node_count(); ++n) {
+    // Bound by the watched set, not cluster_.node_count(): nodes added since
+    // the last check are only tracked once watch_node registered them.
+    for (dfs::NodeId n = 0; n < last_beat_.size(); ++n) {
       if (declared_at_[n] >= 0) continue;
       if (now - last_beat_[n] <= deadline) continue;
       declared_at_[n] = now;
       ++recoveries_;
-      // The NameNode re-replicates every block the dead node held.
-      nn_.decommission_node(n, rng_);
+      if (recovery_) {
+        recovery_(n, now);
+      } else {
+        // Default: the NameNode re-replicates every block the dead node
+        // held, instantly (metadata only; no traffic is modeled).
+        nn_.decommission_node(n, rng_);
+      }
     }
     schedule_check(when + params_.interval, horizon);
   });

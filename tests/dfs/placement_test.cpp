@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 namespace opass::dfs {
 namespace {
@@ -39,15 +42,17 @@ TEST_P(PlacementTest, RejectsReplicationAboveClusterSize) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementTest,
                          ::testing::Values(PlacementKind::kRandom,
                                            PlacementKind::kHdfsDefault,
-                                           PlacementKind::kRoundRobin),
+                                           PlacementKind::kRoundRobin,
+                                           PlacementKind::kSpread),
                          [](const auto& param_info) {
-                           return std::string(placement_kind_name(param_info.param)) ==
-                                          "hdfs-default"
+                           const std::string name =
+                               placement_kind_name(param_info.param);
+                           return name == "hdfs-default"
                                       ? "HdfsDefault"
-                                      : placement_kind_name(param_info.param) ==
-                                                std::string("random")
+                                      : name == "random"
                                             ? "Random"
-                                            : "RoundRobin";
+                                            : name == "spread" ? "Spread"
+                                                               : "RoundRobin";
                          });
 
 TEST(RandomPlacement, CoversAllNodesUniformly) {
@@ -109,9 +114,45 @@ TEST(MakePlacement, NamesRoundTrip) {
   EXPECT_STREQ(placement_kind_name(PlacementKind::kRandom), "random");
   EXPECT_STREQ(placement_kind_name(PlacementKind::kHdfsDefault), "hdfs-default");
   EXPECT_STREQ(placement_kind_name(PlacementKind::kRoundRobin), "round-robin");
+  EXPECT_STREQ(placement_kind_name(PlacementKind::kSpread), "spread");
   EXPECT_EQ(make_placement(PlacementKind::kRandom)->name(), "random");
   EXPECT_EQ(make_placement(PlacementKind::kHdfsDefault)->name(), "hdfs-default");
   EXPECT_EQ(make_placement(PlacementKind::kRoundRobin)->name(), "round-robin");
+  EXPECT_EQ(make_placement(PlacementKind::kSpread)->name(), "spread");
+}
+
+TEST(SpreadPlacement, AlwaysPicksTheLeastLoadedNodes) {
+  const auto topo = Topology::single_rack(4);
+  SpreadPlacement policy;
+  Rng rng(19);
+  // Ties break to the smallest id, and every placement levels the counters:
+  // {0,1} -> {2,3} -> {0,1} -> ...
+  EXPECT_EQ(policy.place(topo, kInvalidNode, 2, rng), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(policy.place(topo, kInvalidNode, 2, rng), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(policy.place(topo, kInvalidNode, 2, rng), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(SpreadPlacement, LayoutIsRngIndependent) {
+  const auto topo = Topology::single_rack(6);
+  SpreadPlacement a, b;
+  Rng rng_a(1), rng_b(999);  // different streams, same deterministic layout
+  for (int i = 0; i < 24; ++i)
+    EXPECT_EQ(a.place(topo, kInvalidNode, 3, rng_a), b.place(topo, kInvalidNode, 3, rng_b));
+}
+
+TEST(SpreadPlacement, NewNodeAbsorbsWritesUntilCaughtUp) {
+  SpreadPlacement policy;
+  Rng rng(23);
+  const auto small = Topology::single_rack(4);
+  for (int i = 0; i < 8; ++i) policy.place(small, kInvalidNode, 2, rng);
+  // Node 4 joins with zero replicas: it must appear in every placement
+  // until its counter catches up with the incumbents (4 each).
+  const auto grown = Topology::single_rack(5);
+  for (int i = 0; i < 4; ++i) {
+    const auto reps = policy.place(grown, kInvalidNode, 2, rng);
+    EXPECT_TRUE(std::find(reps.begin(), reps.end(), NodeId{4}) != reps.end())
+        << "joiner skipped while under-loaded, placement " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+// Skewed hot-file workload: Zipf popularity over a small file catalog,
+// apportioned to tasks by largest remainder (deterministic, no RNG draw for
+// the task mix — only placement consumes the stream).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workload/dataset.hpp"
+
+namespace opass::workload {
+namespace {
+
+SkewedWorkloadParams small_params() {
+  SkewedWorkloadParams p;
+  p.file_count = 8;
+  p.chunks_per_file = 16;
+  p.task_count = 256;
+  p.zipf_s = 1.0;
+  return p;
+}
+
+struct SkewedFixture : ::testing::Test {
+  std::vector<runtime::Task> make(std::uint64_t seed,
+                                  const SkewedWorkloadParams& p = small_params()) {
+    nn = std::make_unique<dfs::NameNode>(dfs::Topology::single_rack(16), 3,
+                                         kDefaultChunkSize);
+    Rng rng(seed);
+    return make_skewed_workload(*nn, p, policy, rng);
+  }
+  std::unique_ptr<dfs::NameNode> nn;
+  dfs::RandomPlacement policy;
+};
+
+TEST_F(SkewedFixture, TotalsAndDenseIds) {
+  const auto p = small_params();
+  const auto tasks = make(42);
+  ASSERT_EQ(tasks.size(), p.task_count);
+  EXPECT_EQ(nn->chunk_count(), p.file_count * p.chunks_per_file);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, i);
+    ASSERT_EQ(tasks[i].inputs.size(), 1u);
+    EXPECT_LT(tasks[i].inputs[0], nn->chunk_count());
+  }
+}
+
+TEST_F(SkewedFixture, PopularityIsMonotoneInFileRank) {
+  const auto p = small_params();
+  const auto tasks = make(42);
+  std::vector<std::uint32_t> per_file(p.file_count, 0);
+  for (const auto& t : tasks) ++per_file[nn->chunk(t.inputs[0]).file];
+  // Zipf weights decrease strictly with rank, and largest-remainder
+  // apportionment preserves the order: file 0 is the hottest.
+  for (std::uint32_t f = 1; f < p.file_count; ++f)
+    EXPECT_GE(per_file[f - 1], per_file[f]) << "file " << f;
+  EXPECT_GT(per_file.front(), per_file.back());
+  // All task_count reads were apportioned (largest remainder loses none).
+  std::uint32_t total = 0;
+  for (const std::uint32_t n : per_file) total += n;
+  EXPECT_EQ(total, p.task_count);
+}
+
+TEST_F(SkewedFixture, HigherSkewConcentratesMoreOnTheHotFile) {
+  auto flat = small_params();
+  flat.zipf_s = 0.2;
+  const auto flat_tasks = make(42, flat);
+  std::uint32_t flat_hot = 0;
+  for (const auto& t : flat_tasks)
+    if (nn->chunk(t.inputs[0]).file == 0) ++flat_hot;
+
+  auto steep = small_params();
+  steep.zipf_s = 2.0;
+  const auto steep_tasks = make(42, steep);
+  std::uint32_t steep_hot = 0;
+  for (const auto& t : steep_tasks)
+    if (nn->chunk(t.inputs[0]).file == 0) ++steep_hot;
+
+  EXPECT_GT(steep_hot, flat_hot);
+}
+
+TEST_F(SkewedFixture, SameSeedSameWorkload) {
+  const auto a = make(7);
+  const auto layout_a = nn->chunk(a[0].inputs[0]).replicas;
+  const auto b = make(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].inputs, b[i].inputs);
+  EXPECT_EQ(nn->chunk(b[0].inputs[0]).replicas, layout_a);
+}
+
+}  // namespace
+}  // namespace opass::workload

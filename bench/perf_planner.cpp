@@ -19,10 +19,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "opass/opass.hpp"
 #include "workload/dataset.hpp"
 
@@ -37,7 +40,8 @@ struct Scenario {
   std::uint32_t replication;
   std::uint64_t seed;
   std::uint32_t repeats;
-  bool smoke;  ///< included in the --smoke matrix
+  bool smoke;                 ///< included in the --smoke matrix
+  std::uint32_t threads = 1;  ///< worker-pool lanes (1 = serial path)
 };
 
 constexpr Scenario kScenarios[] = {
@@ -48,6 +52,13 @@ constexpr Scenario kScenarios[] = {
     {"replication-5-64n-640t", 64, 640, 5, 5, 9, false},
     {"wide-256n-2560t-r3", 256, 2560, 3, 6, 5, false},
     {"large-256n-10240t-r3", 256, 10240, 3, 7, 5, false},
+    // Pooled rows: same layouts and seeds as their serial twins, solved with
+    // PlanOptions::threads = 4 — the plan is byte-identical (the determinism
+    // suite enforces it), so diffing the twin rows isolates the pool's wall
+    // cost/benefit on the host.
+    {"paper-64n-640t-r3-parallel-4t", 64, 640, 3, 42, 9, true, 4},
+    {"medium-128n-1280t-r3-parallel-4t", 128, 1280, 3, 3, 7, true, 4},
+    {"large-256n-10240t-r3-parallel-4t", 256, 10240, 3, 7, 5, false, 4},
 };
 
 constexpr graph::MaxFlowAlgorithm kAlgorithms[] = {
@@ -77,12 +88,13 @@ long peak_rss_kb() {
 SolverResult run_solver(const Scenario& sc, const dfs::NameNode& nn,
                         const std::vector<runtime::Task>& tasks,
                         const core::ProcessPlacement& placement,
-                        graph::MaxFlowAlgorithm algorithm) {
+                        graph::MaxFlowAlgorithm algorithm, ThreadPool* pool) {
   SolverResult out;
   graph::FlowWorkspace workspace;
   core::PlanOptions options;
   options.algorithm = algorithm;
   options.workspace = &workspace;
+  options.pool = pool;
 
   double total_ms = 0;
   core::PlanResult last;
@@ -128,13 +140,21 @@ void emit_solver(std::FILE* f, const char* name, const SolverResult& r, bool las
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_planner.json";
   bool smoke = false;
+  long threads_override = 0;  // 0 = use each scenario's matrix value
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads_override = std::atol(argv[i] + 10);
+      if (threads_override < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: perf_planner [--out=path.json] [--smoke]\n");
+      std::fprintf(stderr,
+                   "usage: perf_planner [--out=path.json] [--smoke] [--threads=N]\n");
       return 2;
     }
   }
@@ -158,9 +178,15 @@ int main(int argc, char** argv) {
     const auto tasks = workload::make_single_data_workload(nn, sc.tasks, policy, layout_rng);
     const auto placement = core::one_process_per_node(nn);
 
+    const std::uint32_t threads =
+        threads_override > 0 ? static_cast<std::uint32_t>(threads_override) : sc.threads;
+    std::optional<ThreadPool> pool;
+    if (threads > 1) pool.emplace(threads);
+
     SolverResult results[2];
     for (std::size_t a = 0; a < 2; ++a)
-      results[a] = run_solver(sc, nn, tasks, placement, kAlgorithms[a]);
+      results[a] =
+          run_solver(sc, nn, tasks, placement, kAlgorithms[a], pool ? &*pool : nullptr);
     const bool parity = results[0].locally_matched == results[1].locally_matched;
     if (!parity || !results[0].audit_ok || !results[1].audit_ok) rc = 1;
 
@@ -168,9 +194,9 @@ int main(int argc, char** argv) {
     first = false;
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"nodes\": %u, \"tasks\": %u, \"replication\": %u, "
-                 "\"seed\": %llu, \"repeats\": %u,\n     \"algorithms\": {\n",
+                 "\"seed\": %llu, \"repeats\": %u, \"threads\": %u,\n     \"algorithms\": {\n",
                  sc.name, sc.nodes, sc.tasks, sc.replication,
-                 static_cast<unsigned long long>(sc.seed), sc.repeats);
+                 static_cast<unsigned long long>(sc.seed), sc.repeats, threads);
     for (std::size_t a = 0; a < 2; ++a)
       emit_solver(f, graph::max_flow_algorithm_name(kAlgorithms[a]), results[a], a == 1);
     std::fprintf(f, "     },\n     \"peak_rss_kb\": %ld, \"parity_ok\": %s}", peak_rss_kb(),

@@ -7,6 +7,7 @@
 //   opass_cli --scenario=single --metrics-out=metrics.json --trace-out=trace.json
 //   opass_cli --service-trace=bench/traces/service_small.trace --batch-window=0.5
 //   opass_cli --scenario=single --fault-plan=bench/faults/crash.json --method=both
+//   opass_cli --scenario=single --threads=4      # same bytes, less wall clock
 //
 // Fault injection: --fault-plan loads a JSON fault/churn scenario
 // (sim/fault_plan.hpp documents the format) and arms it on each run's
@@ -290,6 +291,9 @@ int main(int argc, char** argv) {
       .add("placement", "random", "random | hdfs-default | round-robin | spread")
       .add("fault-plan", "", "JSON fault/churn scenario armed on each run's cluster")
       .add("plan-algorithm", "dinic", "max-flow solver for Opass planning: dinic | edmonds-karp")
+      .add("threads", "1",
+           "worker-pool lanes for the simulator/executor/planner hot paths; "
+           "output is byte-identical for every value (1 = serial)")
       .add("csv", "false", "emit per-op I/O times as CSV instead of the summary table")
       .add("audit", "false", "audit the scenario's plan statically instead of simulating")
       .add("metrics-out", "", "write run metrics to this path (.csv => CSV, else JSON)")
@@ -331,6 +335,12 @@ int main(int argc, char** argv) {
                  opts.str("plan-algorithm").c_str());
     return 2;
   }
+  const long long threads = opts.integer("threads");
+  if (threads < 1) {
+    std::fprintf(stderr, "threads must be >= 1\n");
+    return 2;
+  }
+  cfg.threads = static_cast<std::uint32_t>(threads);
 
   const std::string service_trace = opts.str("service-trace");
   if (!service_trace.empty()) return run_service_trace(service_trace, cfg, opts);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 #include "dfs/topology.hpp"
 #include "obs/collect.hpp"
 #include "opass/opass.hpp"
@@ -55,17 +57,51 @@ dfs::NameNode make_namenode(const ExperimentConfig& cfg) {
                        cfg.chunk_size);
 }
 
+/// The run's worker pool (DESIGN.md §12): the config's borrowed pool, a pool
+/// owned for the duration when the config asks for threads > 1, or nothing
+/// (serial). arm() lends it to the run's simulator and executor.
+struct PoolHarness {
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = nullptr;
+
+  explicit PoolHarness(const ExperimentConfig& cfg) {
+    OPASS_REQUIRE(cfg.threads >= 1, "ExperimentConfig.threads must be >= 1");
+    if (cfg.pool != nullptr) {
+      pool = cfg.pool;
+    } else if (cfg.threads > 1) {
+      owned.emplace(cfg.threads);
+      pool = &*owned;
+    }
+  }
+
+  void arm(sim::Cluster& cluster, runtime::ExecutorConfig& ec) const {
+    if (pool == nullptr) return;
+    cluster.simulator().set_parallelism(pool);
+    ec.pool = pool;
+  }
+
+  /// Register the pool's execution profile (all wall-clock tagged, so
+  /// deterministic exports are unaffected).
+  void export_stats(const ExperimentConfig& cfg) const {
+    if (pool != nullptr && cfg.metrics != nullptr)
+      obs::collect_thread_pool(*cfg.metrics, *pool, "pool");
+  }
+};
+
 /// Run the chosen Opass planner through the core::plan() facade with the
 /// experiment's solver knob.
 runtime::Assignment opass_assignment(const ExperimentConfig& cfg, core::PlannerKind kind,
                                      const dfs::NameNode& nn,
                                      const std::vector<runtime::Task>& tasks,
                                      const core::ProcessPlacement& placement, Rng& rng,
-                                     graph::FlowWorkspace* workspace = nullptr) {
+                                     graph::FlowWorkspace* workspace = nullptr,
+                                     ThreadPool* pool = nullptr) {
   core::PlanOptions options;
   options.planner = kind;
   options.algorithm = cfg.flow_algorithm;
   options.workspace = workspace;
+  options.threads = cfg.threads;
+  options.pool = pool != nullptr ? pool : cfg.pool;
   auto result = core::plan({&nn, &tasks, &placement, &rng}, options);
   // Only Opass plans pass through here, so the prefix is unconditional.
   // Counters accumulate across per-step replans (ParaView); gauges keep the
@@ -181,6 +217,8 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(sc.placement.size());
+  PoolHarness pool(cfg);
+  pool.arm(cluster, ec);
   obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
   ec.probe = timeline.executor_probe();
   timeline.add_expected_bytes(runtime::total_task_bytes(sc.nn, sc.tasks));
@@ -188,6 +226,7 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   const auto exec = runtime::execute(cluster, sc.nn, sc.tasks, source, exec_rng, ec);
   timeline.finish();
   faults.export_stats(cfg);
+  pool.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
   return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
 }
@@ -223,6 +262,8 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(placement.size());
+  PoolHarness pool(cfg);
+  pool.arm(cluster, ec);
   obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
   ec.probe = timeline.executor_probe();
   timeline.add_expected_bytes(runtime::total_task_bytes(nn, tasks));
@@ -233,13 +274,14 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
     timeline.finish();
     faults.export_stats(cfg);
+    pool.export_stats(cfg);
     observe_run(cfg, method, exec, cluster);
     return reduce(nn, tasks, exec, placement, nullptr);
   }
   // Opass: the matching-based guideline A*, consumed by the Section IV-D
   // master (own list first, then best-co-located steal from longest list).
   auto guideline = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, tasks, placement,
-                                    streams.assign);
+                                    streams.assign, nullptr, pool.pool);
   core::OpassDynamicSource source(guideline, nn, tasks, placement);
   FaultHarness faults(cfg, cluster, nn, streams.faults);
   if (faults.injector) {
@@ -271,6 +313,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
           core::PlanOptions options;
           options.planner = core::PlannerKind::kSingleData;
           options.algorithm = cfg.flow_algorithm;
+          options.pool = pool.pool;
           auto sub_assignment =
               core::plan({&nn, &sub, &placement, &streams.assign}, options).assignment;
           runtime::Assignment mapped(sub_assignment.size());
@@ -282,6 +325,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
   timeline.finish();
   faults.export_stats(cfg);
+  pool.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
   if (cfg.metrics != nullptr) obs::collect_dynamic(*cfg.metrics, source, "opass.dynamic");
   auto out = reduce(nn, tasks, exec, placement, &guideline);
@@ -301,6 +345,8 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  PoolHarness pool(cfg);
+  pool.arm(cluster, ec);
   // One timeline spans every rendering step; expected bytes grow per step.
   obs::RunTimeline timeline(cfg.timeline, cluster, m);
   ec.probe = timeline.executor_probe();
@@ -329,7 +375,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
     } else {
       // Opass inside ReadXMLData(): assign this step's pieces by matching.
       assignment = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, step_tasks,
-                                    placement, streams.assign, &workspace);
+                                    placement, streams.assign, &workspace, pool.pool);
     }
     const auto stats = core::evaluate_assignment(nn, step_tasks, assignment, placement);
     planned_total += stats.total_bytes;
@@ -345,6 +391,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
 
   for (Seconds t : out.step_times) out.total_time += t;
   timeline.finish();
+  pool.export_stats(cfg);
   observe_run(cfg, method, agg, cluster);
   out.run.io = summarize(agg.trace.io_times());
   out.run.io_times = agg.trace.io_times_by_issue();
@@ -370,6 +417,7 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
                                                    streams.placement, compute_per_task);
   const auto placement = core::one_process_per_node(nn);
 
+  PoolHarness pool(cfg);
   // The assignment is computed once, before the first epoch — for Opass this
   // is where the matching overhead is amortized across every epoch.
   runtime::Assignment assignment;
@@ -378,13 +426,14 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
                                                    static_cast<std::uint32_t>(placement.size()));
   } else {
     assignment = opass_assignment(cfg, core::PlannerKind::kSingleData, nn, tasks, placement,
-                                  streams.assign);
+                                  streams.assign, nullptr, pool.pool);
   }
 
   IterativeOutput out;
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  pool.arm(cluster, ec);
   // One timeline spans every epoch; the same dataset is owed again each pass.
   obs::RunTimeline timeline(cfg.timeline, cluster,
                             static_cast<std::uint32_t>(placement.size()));
@@ -401,6 +450,7 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
   }
   for (Seconds t : out.epoch_times) out.total_time += t;
   timeline.finish();
+  pool.export_stats(cfg);
   observe_run(cfg, method, agg, cluster);
 
   out.run.io = summarize(agg.trace.io_times());

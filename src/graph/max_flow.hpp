@@ -19,6 +19,10 @@
 
 #include "graph/flow_network.hpp"
 
+namespace opass {
+class ThreadPool;
+}
+
 namespace opass::graph {
 
 /// Which algorithm solves the network. Results (flow values per edge) may
@@ -39,12 +43,29 @@ MaxFlowAlgorithm parse_max_flow_algorithm(const std::string& name);
 struct FlowWorkspace {
   FlowNetwork network;            ///< build target; clear() it per plan
 
+  /// Opt-in worker pool (borrowed, may be nullptr): when set with more than
+  /// one lane, Dinic runs its blocking flows concurrently across the
+  /// connected components of the network minus {s, t} — the per-source-file
+  /// subflows the Fig. 5 network decomposes into — and falls back to the
+  /// serial solver when the network doesn't decompose. Edge flows are
+  /// byte-identical to the serial run (see run_dinic_parallel in
+  /// max_flow.cpp for the proof sketch); Edmonds–Karp always runs serially.
+  ThreadPool* pool = nullptr;
+
   // Solver scratch (contents are meaningless between runs).
   std::vector<std::int32_t> level;  ///< BFS level per node; -1 = unreached
   std::vector<EdgeIdx> parent;      ///< Edmonds–Karp: parent half-edge per node
   std::vector<std::uint32_t> arc;   ///< Dinic: current-arc cursor per node
   std::vector<NodeIdx> queue;       ///< BFS frontier
   std::vector<EdgeIdx> path;        ///< Dinic: DFS path of half-edges
+
+  // Parallel-Dinic scratch (sized on demand, capacity retained).
+  std::vector<std::uint32_t> comp;         ///< component id per node
+  std::vector<EdgeIdx> comp_s_arcs;        ///< s's half-edges grouped by component (CSR)
+  std::vector<std::uint32_t> comp_s_offsets;  ///< comp_count + 1 bucket bounds
+  std::vector<std::uint32_t> comp_s_cursor;   ///< per-component arc[s] cursor
+  std::vector<Cap> comp_total;             ///< per-component blocking-flow value
+  std::vector<std::vector<EdgeIdx>> comp_paths;  ///< per-chunk DFS stacks
 };
 
 /// Run Edmonds–Karp from s to t; returns the max-flow value.

@@ -1,6 +1,7 @@
 #include "opass/planner.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "common/require.hpp"
 #include "opass/multi_data.hpp"
@@ -58,9 +59,27 @@ void validate(const PlanRequest& request, PlannerKind planner) {
 
 PlanResult plan(const PlanRequest& request, PlanOptions options) {
   validate(request, options.planner);
+  OPASS_REQUIRE(options.threads >= 1, "PlanOptions.threads must be >= 1");
   const dfs::NameNode& nn = *request.nn;
   const auto& tasks = *request.tasks;
   const auto& placement = *request.placement;
+
+  // Worker-pool opt-in: lend the pool to the flow workspace for the duration
+  // of this call (the solvers read workspace->pool). A transient pool is
+  // spun up only when the caller asked for threads > 1 without lending one;
+  // repeated planning should pass PlanOptions.pool to amortize thread spawn.
+  std::optional<ThreadPool> transient_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.threads > 1) {
+    transient_pool.emplace(options.threads);
+    pool = &*transient_pool;
+  }
+  graph::FlowWorkspace local_workspace;
+  graph::FlowWorkspace* workspace = options.workspace;
+  if (workspace == nullptr && pool != nullptr) workspace = &local_workspace;
+  ThreadPool* const saved_pool = workspace != nullptr ? workspace->pool : nullptr;
+  if (workspace != nullptr && pool != nullptr) workspace->pool = pool;
+  options.workspace = workspace;
 
   PlanResult result;
   result.planner = options.planner;
@@ -102,6 +121,7 @@ PlanResult plan(const PlanRequest& request, PlanOptions options) {
     }
   }
   result.plan_wall_ms = elapsed_ms(plan_begin);
+  if (workspace != nullptr) workspace->pool = saved_pool;
   const auto stats_begin = std::chrono::steady_clock::now();
   result.stats = evaluate_assignment(nn, tasks, result.assignment, placement);
   result.stats_wall_ms = elapsed_ms(stats_begin);

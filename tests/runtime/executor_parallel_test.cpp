@@ -1,0 +1,173 @@
+// Staged wave issue determinism: an executor run with ExecutorConfig::pool
+// must replay byte-identically to the serial run — every read record, task
+// span, finish time and counter — for any thread count, under async and BSP
+// execution and every replica policy (see Driver::pull_wave for the
+// equivalence argument).
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "runtime/static_partitioner.hpp"
+#include "runtime/task_source.hpp"
+
+namespace opass::runtime {
+namespace {
+
+/// Compare two execution results field by field, with exact (bitwise) time
+/// comparison — the contract is byte-identity, not closeness.
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_EQ(a.read_failures, b.read_failures);
+  EXPECT_EQ(a.process_finish_time, b.process_finish_time);
+  EXPECT_EQ(a.barrier_stall, b.barrier_stall);
+  ASSERT_EQ(a.task_spans.size(), b.task_spans.size());
+  for (std::size_t i = 0; i < a.task_spans.size(); ++i) {
+    EXPECT_EQ(a.task_spans[i].process, b.task_spans[i].process) << "span " << i;
+    EXPECT_EQ(a.task_spans[i].task, b.task_spans[i].task) << "span " << i;
+    EXPECT_EQ(a.task_spans[i].start, b.task_spans[i].start) << "span " << i;
+    EXPECT_EQ(a.task_spans[i].end, b.task_spans[i].end) << "span " << i;
+  }
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  const auto& ra = a.trace.records();
+  const auto& rb = b.trace.records();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].process, rb[i].process) << "record " << i;
+    EXPECT_EQ(ra[i].reader_node, rb[i].reader_node) << "record " << i;
+    EXPECT_EQ(ra[i].serving_node, rb[i].serving_node) << "record " << i;
+    EXPECT_EQ(ra[i].chunk, rb[i].chunk) << "record " << i;
+    EXPECT_EQ(ra[i].bytes, rb[i].bytes) << "record " << i;
+    EXPECT_EQ(ra[i].issue_time, rb[i].issue_time) << "record " << i;
+    EXPECT_EQ(ra[i].end_time, rb[i].end_time) << "record " << i;
+    EXPECT_EQ(ra[i].local, rb[i].local) << "record " << i;
+  }
+}
+
+struct ParallelExecutorFixture : ::testing::Test {
+  ParallelExecutorFixture()
+      : nn(dfs::Topology::single_rack(8), 2, kDefaultChunkSize) {
+    params.disk_bandwidth = 64.0 * kMiB;
+    params.nic_bandwidth = 48.0 * kMiB;
+  }
+
+  /// A workload with remote reads (rng draws) and uneven per-process lists.
+  std::vector<Task> make_tasks(std::uint32_t chunks, Seconds compute = 0) {
+    Rng place_rng(5);
+    dfs::RandomPlacement policy;
+    const auto fid = nn.create_file("d", chunks * kDefaultChunkSize, policy, place_rng);
+    auto tasks = single_input_tasks(nn, {fid});
+    for (auto& t : tasks) t.compute_time = compute;
+    return tasks;
+  }
+
+  /// Run the assignment once; threads = 0 means no pool (the serial path).
+  ExecutionResult run(const std::vector<Task>& tasks, const Assignment& assignment,
+                      std::uint32_t threads, ExecutorConfig config = {}) {
+    sim::Cluster cluster(8, params);
+    StaticAssignmentSource source(assignment);
+    Rng exec_rng(17);  // fresh identical stream per run
+    std::optional<ThreadPool> pool;
+    if (threads > 0) {
+      pool.emplace(threads);
+      config.pool = &*pool;
+    }
+    return execute(cluster, nn, tasks, source, exec_rng, config);
+  }
+
+  dfs::NameNode nn;
+  sim::ClusterParams params;
+};
+
+TEST_F(ParallelExecutorFixture, AsyncReplayIsByteIdenticalAcrossThreadCounts) {
+  const auto tasks = make_tasks(32);
+  const auto assignment = rank_interval_assignment(32, 8);
+  const auto serial = run(tasks, assignment, 0);
+  for (std::uint32_t threads : {1u, 2u, 4u, 8u})
+    expect_identical(run(tasks, assignment, threads), serial);
+}
+
+TEST_F(ParallelExecutorFixture, BspWavesAreByteIdenticalAcrossThreadCounts) {
+  // BSP exercises pull_wave on every barrier release, including shrinking
+  // waves as processes retire at different task counts.
+  auto tasks = make_tasks(29, /*compute=*/0.05);  // uneven: 29 tasks on 8 procs
+  const auto assignment = rank_interval_assignment(29, 8);
+  ExecutorConfig config;
+  config.barrier_per_task = true;
+  const auto serial = run(tasks, assignment, 0, config);
+  for (std::uint32_t threads : {2u, 4u, 8u})
+    expect_identical(run(tasks, assignment, threads, config), serial);
+}
+
+TEST_F(ParallelExecutorFixture, LeastLoadedPolicyStaysExact) {
+  // kLeastLoaded reads mutable in-flight counts: the staged path must defer
+  // remote choices to the serial commit phase to see identical loads.
+  const auto tasks = make_tasks(32);
+  const auto assignment = rank_interval_assignment(32, 8);
+  ExecutorConfig config;
+  config.replica_choice = dfs::ReplicaChoice::kLeastLoaded;
+  const auto serial = run(tasks, assignment, 0, config);
+  for (std::uint32_t threads : {2u, 4u})
+    expect_identical(run(tasks, assignment, threads, config), serial);
+}
+
+TEST_F(ParallelExecutorFixture, ZeroInputTasksCompleteSynchronouslyAndStayExact) {
+  // Zero-input tasks finish inside the wave commit (possibly chaining
+  // further pulls); the staged path must replay those chains serially.
+  auto tasks = make_tasks(16);
+  std::vector<Task> mixed;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    mixed.push_back(tasks[i]);
+    Task compute_only;
+    compute_only.id = static_cast<TaskId>(tasks.size() + i);
+    compute_only.compute_time = (i % 3 == 0) ? 0.0 : 0.01;
+    mixed.push_back(compute_only);
+  }
+  for (std::size_t i = 0; i < mixed.size(); ++i)
+    mixed[i].id = static_cast<TaskId>(i);
+  Assignment assignment(8);
+  for (std::size_t i = 0; i < mixed.size(); ++i)
+    assignment[i % 8].push_back(static_cast<TaskId>(i));
+
+  const auto serial = run(mixed, assignment, 0);
+  for (std::uint32_t threads : {2u, 4u})
+    expect_identical(run(mixed, assignment, threads), serial);
+
+  ExecutorConfig bsp;
+  bsp.barrier_per_task = true;
+  const auto serial_bsp = run(mixed, assignment, 0, bsp);
+  for (std::uint32_t threads : {2u, 4u})
+    expect_identical(run(mixed, assignment, threads, bsp), serial_bsp);
+}
+
+TEST_F(ParallelExecutorFixture, SharedQueueSourceKeepsTheSerialPath) {
+  // MasterWorkerSource does not declare concurrent_pull_safe(); with a pool
+  // attached the executor must still pull serially and match exactly.
+  const auto tasks = make_tasks(24);
+  auto run_mw = [&](std::uint32_t threads) {
+    sim::Cluster cluster(8, params);
+    Rng src_rng(3);
+    MasterWorkerSource source(24, src_rng, /*shuffle=*/true);
+    EXPECT_FALSE(source.concurrent_pull_safe());
+    Rng exec_rng(17);
+    ExecutorConfig config;
+    std::optional<ThreadPool> pool;
+    if (threads > 0) {
+      pool.emplace(threads);
+      config.pool = &*pool;
+    }
+    return execute(cluster, nn, tasks, source, exec_rng, config);
+  };
+  expect_identical(run_mw(4), run_mw(0));
+}
+
+TEST_F(ParallelExecutorFixture, StaticSourceDeclaresConcurrentPullSafety) {
+  StaticAssignmentSource source(rank_interval_assignment(8, 4));
+  EXPECT_TRUE(source.concurrent_pull_safe());
+}
+
+}  // namespace
+}  // namespace opass::runtime

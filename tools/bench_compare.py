@@ -20,7 +20,9 @@ with the host, and counters only change when behaviour changes, which the
 tier-1 tests gate. Specific metrics can be promoted to hard gates with the
 repeatable --gate option: `--gate metrics.degree_of_imbalance:10` fails the
 comparison when the current value exceeds the baseline by more than 10% (a
-baseline of 0 fails on any increase). For metrics where *lower* is the
+baseline of 0 fails on any increase). The top-level "peak_rss_kb" resource
+stamp participates under its own name (`--gate peak_rss_kb:50`), so memory
+regressions gate alongside behavioural metrics. For metrics where *lower* is the
 regression direction (throughput, locality percentages), --gate-min is the
 mirror image: `--gate-min metrics.requests_per_sec:30` fails when the
 current value falls below the baseline by more than 30%. Gated metrics are
@@ -38,7 +40,7 @@ import sys
 
 # Known per-scenario / per-solver keys; anything else triggers a warning.
 _KNOWN_SCENARIO_KEYS = {
-    "name", "nodes", "tasks", "replication", "seed", "repeats",
+    "name", "nodes", "tasks", "replication", "seed", "repeats", "threads",
     "wall_ms_min", "wall_ms_mean", "makespan_s", "local_pct",
     "peak_rss_kb", "parity_ok", "algorithms", "metrics",
 }
@@ -69,6 +71,13 @@ def wall_times(scenario: dict) -> dict[str, float]:
 def metric_values(scenario: dict) -> dict[str, float]:
     """Flatten the embedded "metrics" objects into {dotted_name: value}."""
     out: dict[str, float] = {}
+    # Top-level resource footprint: every harness stamps its ru_maxrss, so
+    # memory regressions can be gated with `--gate peak_rss_kb:PCT` the same
+    # way as embedded metrics. RSS is host-sensitive (allocator, page size),
+    # so gates want a generous margin, like throughput.
+    rss = scenario.get("peak_rss_kb")
+    if isinstance(rss, (int, float)) and not isinstance(rss, bool):
+        out["peak_rss_kb"] = float(rss)
     for key, value in scenario.get("metrics", {}).items():
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             out[f"metrics.{key}"] = float(value)

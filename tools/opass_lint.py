@@ -45,6 +45,16 @@ Rules (all scoped to src/ unless noted):
                     reuse, and the one place where new planners get wired in.
                     Harnesses that deliberately measure a raw matcher carry an
                     inline allow(facade-only) marker.
+  no-raw-thread     Raw threading primitives (std::thread / std::mutex /
+                    std::atomic / std::condition_variable / the std lock
+                    guards) are confined to src/common/thread_pool.* and
+                    src/common/thread_annotations.hpp. Everything else
+                    expresses concurrency through opass::ThreadPool and the
+                    annotated opass::Mutex / opass::ScopedLock vocabulary, so
+                    the thread-safety analysis and the determinism contract
+                    (DESIGN.md §12) see every lock and every parallel region.
+                    A deliberate exception carries an inline
+                    allow(no-raw-thread) marker.
   pq-top-copy       No by-value initialization from `.top()`:
                     `auto fn = q.top();` (or a `std::function<...>` copy of
                     `.top().fn`) deep-copies the element — and since
@@ -115,6 +125,21 @@ DIRECT_PLANNER_CALL = re.compile(
 # priority_queue::top() returns a const reference and the "move" still copies.
 PQ_TOP_COPY = re.compile(
     r"\b(?:auto|std::function\s*<[^;{}=]*>)\s+\w+\s*=\s*[^;{}\n]*\.top\s*\(\s*\)")
+# Raw threading vocabulary. std::atomic covers std::atomic<T>, the _flag /
+# _bool /... aliases and the free atomic_* functions via the \w* tail.
+RAW_THREAD = re.compile(
+    r"std::(?:jthread\b|thread\b|mutex\b|shared_mutex\b|recursive_mutex\b"
+    r"|timed_mutex\b|condition_variable(?:_any)?\b|atomic\w*\b"
+    r"|lock_guard\b|unique_lock\b|scoped_lock\b|shared_lock\b|call_once\b"
+    r"|once_flag\b|future\b|promise\b|async\b|counting_semaphore\b"
+    r"|binary_semaphore\b|barrier\b|latch\b)")
+# The sanctioned homes: the pool implementation itself and the annotation
+# vocabulary it is built on.
+RAW_THREAD_EXEMPT = (
+    "src/common/thread_pool.hpp",
+    "src/common/thread_pool.cpp",
+    "src/common/thread_annotations.hpp",
+)
 
 
 def _line_of(text: str, offset: int) -> int:
@@ -219,6 +244,20 @@ def check_pq_top_copy(path: pathlib.Path, text: str, findings: list):
                     "a const reference or pop_heap and move from the back"))
 
 
+def check_no_raw_thread(path: pathlib.Path, root: pathlib.Path, text: str, findings: list):
+    rel = path.relative_to(root).as_posix()
+    if rel in RAW_THREAD_EXEMPT:
+        return
+    for m in RAW_THREAD.finditer(scrub(text)):
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "no-raw-thread",
+                    f"'{m.group(0)}' outside common/thread_pool — express "
+                    "concurrency through opass::ThreadPool and the annotated "
+                    "opass::Mutex/ScopedLock vocabulary (common/"
+                    "thread_annotations.hpp) so locks stay visible to "
+                    "-Wthread-safety and the determinism contract"))
+
+
 def check_facade_only(path: pathlib.Path, root: pathlib.Path, text: str, findings: list):
     rel = path.relative_to(root).as_posix()
     if rel.startswith("src/opass/"):
@@ -265,6 +304,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_nodiscard_status(path, src_root, text, findings)
         check_timeline_metric_name(path, text, findings)
         check_pq_top_copy(path, text, findings)
+        check_no_raw_thread(path, root, text, findings)
         check_facade_only(path, root, text, findings)
     # bench/ and examples/ consume the planner API, so only the API-usage
     # rule applies there; tests/ stays exempt (unit tests exercise the
@@ -314,6 +354,12 @@ _VIOLATIONS = {
         "runtime/bad_direct_plan.cpp",
         '#include "opass/opass.hpp"\n'
         "int f() { return core::assign_single_data(nn, tasks, placement, rng).total; }\n",
+    ),
+    "no-raw-thread": (
+        "sim/bad_raw_thread.cpp",
+        "#include <mutex>\n"
+        "std::mutex g_mu;\n"
+        "void f() { std::lock_guard<std::mutex> lock(g_mu); }\n",
     ),
     "pq-top-copy": (
         "bad_top_copy.cpp",
@@ -367,6 +413,21 @@ _CLEANS = (
         '#include "opass/planner.hpp"\n'
         "int internal() { return assign_single_data_weighted(nn, tasks, placement, rng).n; }\n"
         "int facade() { return core::plan(request).locally_matched; }\n",
+    ),
+    (
+        # The sanctioned home: raw primitives inside src/common/thread_pool.*
+        # are exempt from no-raw-thread.
+        "common/thread_pool.cpp",
+        '#include "common/thread_pool.hpp"\n\n#include <mutex>\n#include <thread>\n'
+        "void pump() { std::mutex mu; std::unique_lock<std::mutex> lock(mu); }\n",
+    ),
+    (
+        # The annotated vocabulary is the compliant spelling no-raw-thread
+        # must NOT flag anywhere in src/.
+        "sim/clean_annotated_lock.cpp",
+        '#include "common/thread_annotations.hpp"\n'
+        "opass::Mutex mu_;\n"
+        "void locked() { opass::ScopedLock lock(mu_); }\n",
     ),
     (
         # Reference bindings from .top() are the compliant spelling pq-top-copy

@@ -1,0 +1,64 @@
+# Span-artifact byte-identity gate for the causal tracing layer
+# (DESIGN.md §13), run as a ctest entry (see examples/CMakeLists.txt).
+# Invoked in script mode:
+#
+#   cmake -DCLI=<path-to-opass_cli> -DOUT_DIR=<scratch-dir> \
+#         [-DPLAN=<fault-plan.json>] -P cmake/run_span_check.cmake
+#
+# The span log and everything derived from it — the attribution sums, the
+# critical path — are integer-tick reductions of byte-deterministic doubles,
+# so the exported documents must be byte-identical across thread counts and
+# across replays. This script runs the same fixed-seed scenario with
+# --threads=1, --threads=4, and --threads=1 again (the replay), and requires
+# every span and critical-path artifact pair to be byte-identical. When PLAN
+# is set the scenario runs under that fault plan, holding the crash-abort /
+# re-plan / degradation attribution paths to the same contract.
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<opass_cli> -DOUT_DIR=<dir> [-DPLAN=<plan.json>] -P run_span_check.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(nodes 16)
+set(tasks 80)
+set(extra_args)
+if(DEFINED PLAN)
+  # The checked-in fault plans target nodes of a paper-scale cluster; keep
+  # the cluster big enough for the victim ids while staying ctest-fast.
+  set(nodes 24)
+  set(tasks 120)
+  list(APPEND extra_args --fault-plan=${PLAN})
+endif()
+
+# run 1: serial; run 2: pooled; run 3: serial replay of run 1.
+set(labels t1 t4 replay)
+set(thread_counts 1 4 1)
+foreach(i RANGE 2)
+  list(GET labels ${i} label)
+  list(GET thread_counts ${i} threads)
+  execute_process(
+    COMMAND "${CLI}" --scenario=single --nodes=${nodes} --tasks=${tasks} --method=both
+            --seed=42 --threads=${threads} ${extra_args}
+            --spans-out=${OUT_DIR}/spans_${label}.json
+            --critical-path=${OUT_DIR}/critical_path_${label}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "opass_cli --threads=${threads} (${label}) failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(kind spans critical_path)
+  foreach(other t4 replay)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${OUT_DIR}/${kind}_t1.json" "${OUT_DIR}/${kind}_${other}.json"
+      RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR "${kind} output differs between t1 and ${other} — "
+                          "the span log broke byte-determinism")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "span and critical-path artifacts are byte-identical across threads and replay")

@@ -41,9 +41,11 @@
 
 #include "common/options.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/experiment.hpp"
 #include "graph/max_flow.hpp"
 #include "obs/analytics.hpp"
+#include "obs/attribution.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/fault_log.hpp"
 #include "obs/hotspot.hpp"
@@ -66,6 +68,11 @@ struct ObsSinks {
   obs::ReportBuilder* report = nullptr;
   std::vector<std::unique_ptr<obs::TimelineRecorder>>* timelines = nullptr;
   double sample_interval = 0.5;
+  /// When set, each run records a causal span log (one per method, owned by
+  /// `span_logs`) and registers it with the doc builder — the --spans-out /
+  /// --critical-path pipeline (DESIGN.md §13).
+  obs::SpanDocBuilder* span_doc = nullptr;
+  std::vector<std::unique_ptr<obs::SpanLog>>* span_logs = nullptr;
   /// When set, each run arms this fault/churn scenario on its cluster.
   const sim::FaultPlan* faults = nullptr;
 };
@@ -85,6 +92,11 @@ int run_method(const std::string& scenario, exp::Method method,
     recorder = sinks.timelines->emplace_back(
         std::make_unique<obs::TimelineRecorder>(topt)).get();
     run_cfg.timeline = recorder;
+  }
+  obs::SpanLog* span_log = nullptr;
+  if (sinks.span_doc != nullptr) {
+    span_log = sinks.span_logs->emplace_back(std::make_unique<obs::SpanLog>()).get();
+    run_cfg.spans = span_log;
   }
   std::unique_ptr<obs::FaultEventLog> fault_log;
   sim::FaultStats fault_stats;
@@ -124,6 +136,16 @@ int run_method(const std::string& scenario, exp::Method method,
     sinks.trace->set_process_name(pid, exp::method_name(method));
     sinks.trace->add_execution(raw, pid);
   }
+  if (span_log != nullptr) {
+    sinks.span_doc->add_method(exp::method_name(method), *span_log, cfg.nodes);
+    // Overlay the critical path's cross-process hops on the Chrome trace as
+    // flow arrows — only when both sinks are active, so a plain --trace-out
+    // stays byte-identical to earlier releases.
+    if (sinks.trace != nullptr)
+      obs::add_critical_path_flows(*sinks.trace, *span_log,
+                                   sinks.span_doc->path(sinks.span_doc->method_count() - 1),
+                                   pid);
+  }
   if (recorder != nullptr) {
     obs::MethodReport mr;
     mr.name = exp::method_name(method);
@@ -131,6 +153,8 @@ int run_method(const std::string& scenario, exp::Method method,
     mr.analytics = obs::analyze_execution(raw, cfg.nodes);
     mr.makespan = out.makespan;
     mr.local_fraction = out.local_fraction;
+    mr.spans = span_log;
+    mr.node_count = cfg.nodes;
     sinks.report->add_method(std::move(mr));
     if (sinks.trace != nullptr) obs::add_timeline_counters(*sinks.trace, *recorder, pid);
   }
@@ -209,9 +233,13 @@ int run_service_trace(const std::string& trace_path, const exp::ExperimentConfig
 
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::TimelineRecorder> recorder;
+  obs::SpanLog span_log;
   const std::string metrics_out = opts.str("metrics-out");
   const std::string timeline_out = opts.str("timeline-out");
+  const std::string spans_out = opts.str("spans-out");
+  const std::string critical_path_out = opts.str("critical-path");
   if (!metrics_out.empty()) scfg.metrics = &registry;
+  if (!spans_out.empty() || !critical_path_out.empty()) scfg.spans = &span_log;
   if (!timeline_out.empty()) {
     obs::TimelineRecorder::Options topt;
     topt.interval = opts.real("sample-interval");
@@ -274,6 +302,17 @@ int run_service_trace(const std::string& trace_path, const exp::ExperimentConfig
     builder.add_method(std::move(mr));
     flush(timeline_out, builder.timeline_json());
   }
+  if (scfg.spans != nullptr) {
+    obs::SpanDocBuilder doc;
+    doc.add_method("service", span_log, /*node_count=*/0);
+    if (!spans_out.empty()) flush(spans_out, doc.spans_json());
+    if (!critical_path_out.empty()) {
+      const bool json = critical_path_out.size() >= 5 &&
+                        critical_path_out.rfind(".json") == critical_path_out.size() - 5;
+      flush(critical_path_out,
+            json ? doc.critical_path_json() : doc.critical_path_text());
+    }
+  }
   return rc;
 }
 
@@ -301,6 +340,9 @@ int main(int argc, char** argv) {
       .add("timeline-out", "", "write sampled time series + analytics JSON to this path")
       .add("report-html", "", "write a self-contained HTML run report to this path")
       .add("sample-interval", "0.5", "timeline sampling period in virtual seconds")
+      .add("spans-out", "", "write the causal span log + attribution JSON to this path")
+      .add("critical-path", "",
+           "write the makespan's critical path to this path (.json => JSON, else text)")
       .add("hotspots", "false", "print the per-node serving hotspot report")
       .add("service-trace", "", "replay a job-arrival trace through the planning service")
       .add("batch-window", "0.0", "service coalescing window in virtual seconds")
@@ -341,6 +383,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.threads = static_cast<std::uint32_t>(threads);
+  // One pool for the whole invocation (instead of one per run_* call): lane
+  // stats accumulate across methods for the --hotspots lane report, and the
+  // workers spin up once. Output stays byte-identical either way.
+  std::unique_ptr<ThreadPool> pool;
+  if (cfg.threads > 1) {
+    pool = std::make_unique<ThreadPool>(cfg.threads);
+    cfg.pool = pool.get();
+  }
 
   const std::string service_trace = opts.str("service-trace");
   if (!service_trace.empty()) return run_service_trace(service_trace, cfg, opts);
@@ -379,13 +429,21 @@ int main(int argc, char** argv) {
   const std::string trace_out = opts.str("trace-out");
   const std::string timeline_out = opts.str("timeline-out");
   const std::string report_html = opts.str("report-html");
+  const std::string spans_out = opts.str("spans-out");
+  const std::string critical_path_out = opts.str("critical-path");
   obs::MetricsRegistry registry;
   obs::ChromeTraceBuilder trace_builder;
   obs::ReportBuilder report_builder;
+  obs::SpanDocBuilder span_doc;
   std::vector<std::unique_ptr<obs::TimelineRecorder>> timelines;
+  std::vector<std::unique_ptr<obs::SpanLog>> span_logs;
   ObsSinks sinks;
   if (!metrics_out.empty()) sinks.metrics = &registry;
   if (!trace_out.empty()) sinks.trace = &trace_builder;
+  if (!spans_out.empty() || !critical_path_out.empty()) {
+    sinks.span_doc = &span_doc;
+    sinks.span_logs = &span_logs;
+  }
   if (!timeline_out.empty() || !report_html.empty()) {
     sinks.report = &report_builder;
     sinks.timelines = &timelines;
@@ -415,6 +473,8 @@ int main(int argc, char** argv) {
                 dfs::placement_kind_name(cfg.placement));
     std::fputs(table.render().c_str(), stdout);
   }
+  if (sinks.hotspots && pool != nullptr)
+    std::printf("\n%s", obs::pool_lane_report(*pool).c_str());
 
   if (!metrics_out.empty()) {
     const obs::IoStatus st = obs::write_metrics(registry, metrics_out);
@@ -439,6 +499,23 @@ int main(int argc, char** argv) {
   }
   if (!report_html.empty()) {
     const obs::IoStatus st = obs::write_file(report_html, report_builder.html());
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!spans_out.empty()) {
+    const obs::IoStatus st = obs::write_file(spans_out, span_doc.spans_json());
+    if (!st.ok) {
+      std::fprintf(stderr, "error: %s\n", st.message.c_str());
+      rc |= 1;
+    }
+  }
+  if (!critical_path_out.empty()) {
+    const bool json = critical_path_out.size() >= 5 &&
+                      critical_path_out.rfind(".json") == critical_path_out.size() - 5;
+    const obs::IoStatus st = obs::write_file(
+        critical_path_out, json ? span_doc.critical_path_json() : span_doc.critical_path_text());
     if (!st.ok) {
       std::fprintf(stderr, "error: %s\n", st.message.c_str());
       rc |= 1;

@@ -35,6 +35,19 @@
 
 namespace opass {
 
+/// Split [0, weights.size()) into at most `max_chunks` contiguous, non-empty
+/// ranges of approximately equal total weight, returned as boundary indices
+/// (bounds[k] .. bounds[k+1] is range k; bounds.front() == 0, bounds.back()
+/// == weights.size()). Cut after item i once the weight prefix crosses the
+/// next equal-share target, while always leaving at least one item per
+/// remaining range. A pure function of (weights, max_chunks) — no pool or
+/// scheduling state — so the partition is reproducible for any thread count
+/// (the size-aware analogue of parallel_for_chunks' equal-count split; the
+/// thread_pool weighted-split tests pin both purity and serial equality).
+/// Zero total weight degenerates to the equal-count split.
+std::vector<std::size_t> weighted_chunk_bounds(const std::vector<std::uint64_t>& weights,
+                                               std::size_t max_chunks);
+
 /// Fixed-size worker pool with deterministic (static, stealing-free) chunk
 /// assignment. `threads` counts the calling thread: ThreadPool(4) spawns 3
 /// workers and lane 0 runs on the caller, so a pool of 1 spawns nothing and
@@ -86,6 +99,38 @@ class ThreadPool {
       const std::size_t begin = chunk * per + std::min(chunk, extra);
       const std::size_t end = begin + per + (chunk < extra ? 1 : 0);
       fn(begin, end, chunk);
+    });
+  }
+
+  /// Size-aware variant of parallel_for_chunks: split [0, weights.size())
+  /// into contiguous ranges of approximately equal total *weight* (not item
+  /// count) and run `fn(begin, end, chunk)` for each. The chunk budget is
+  /// min(thread_count, max(1, total_weight / max(min_weight_per_chunk, 1)))
+  /// and the boundaries come from weighted_chunk_bounds — a pure function of
+  /// the input shape, so per-chunk results are reproducible for every thread
+  /// count. Use when item costs are skewed (one giant connected component
+  /// among many singletons) and an equal-count split would leave all but one
+  /// lane idle.
+  template <typename F>
+  void parallel_weighted_for_chunks(const std::vector<std::uint64_t>& weights,
+                                    std::uint64_t min_weight_per_chunk, F&& fn) {
+    const std::size_t count = weights.size();
+    std::uint64_t total = 0;
+    for (std::uint64_t w : weights) total += w;
+    const std::uint64_t grain = std::max<std::uint64_t>(min_weight_per_chunk, 1);
+    const std::size_t max_chunks = static_cast<std::size_t>(
+        std::min<std::uint64_t>(thread_count_, std::max<std::uint64_t>(total / grain, 1)));
+    const std::vector<std::size_t> bounds = weighted_chunk_bounds(weights, max_chunks);
+    const std::size_t chunks = bounds.size() - 1;
+    if (chunks <= 1) {
+      if (count > 0) {
+        fn(std::size_t{0}, count, std::size_t{0});
+        note_inline_batch(1);
+      }
+      return;
+    }
+    parallel_chunks(chunks, [&](std::size_t chunk) {
+      fn(bounds[chunk], bounds[chunk + 1], chunk);
     });
   }
 

@@ -123,12 +123,24 @@ void observe_run(const ExperimentConfig& cfg, Method method,
   if (cfg.raw != nullptr) *cfg.raw = exec;
 }
 
-/// Fold one step/epoch execution into a run-level aggregate: traces and task
-/// spans concatenate, finish times take the latest, stalls and counters sum.
+/// Append one finished execution's causal spans into the config's span sink
+/// (no-op when none). `tasks` must be the table the execution ran against
+/// (the renumbered per-step table for ParaView steps).
+void observe_spans(const ExperimentConfig& cfg, const runtime::ExecutionResult& exec,
+                   const std::vector<runtime::Task>& tasks, const sim::Cluster& cluster) {
+  if (cfg.spans != nullptr) obs::append_execution_spans(*cfg.spans, exec, tasks, cluster);
+}
+
+/// Fold one step/epoch execution into a run-level aggregate: traces, task
+/// spans and read breakdowns concatenate (breakdowns stay index-aligned with
+/// the concatenated records), finish times take the latest, stalls and
+/// counters sum.
 void accumulate(runtime::ExecutionResult& agg, const runtime::ExecutionResult& step) {
   for (const auto& rec : step.trace.records()) agg.trace.add(rec);
   agg.task_spans.insert(agg.task_spans.end(), step.task_spans.begin(),
                         step.task_spans.end());
+  agg.read_breakdowns.insert(agg.read_breakdowns.end(), step.read_breakdowns.begin(),
+                             step.read_breakdowns.end());
   if (agg.process_finish_time.size() < step.process_finish_time.size())
     agg.process_finish_time.resize(step.process_finish_time.size(), 0);
   for (std::size_t p = 0; p < step.process_finish_time.size(); ++p)
@@ -217,6 +229,7 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(sc.placement.size());
+  ec.record_read_breakdown = cfg.spans != nullptr;
   PoolHarness pool(cfg);
   pool.arm(cluster, ec);
   obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
@@ -228,6 +241,7 @@ RunOutput simulate_planned(const ExperimentConfig& cfg, PlannedScenario& sc, Rng
   faults.export_stats(cfg);
   pool.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
+  observe_spans(cfg, exec, sc.tasks, cluster);
   return reduce(sc.nn, sc.tasks, exec, sc.placement, &sc.assignment);
 }
 
@@ -262,6 +276,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
   ec.process_count = static_cast<std::uint32_t>(placement.size());
+  ec.record_read_breakdown = cfg.spans != nullptr;
   PoolHarness pool(cfg);
   pool.arm(cluster, ec);
   obs::RunTimeline timeline(cfg.timeline, cluster, ec.process_count);
@@ -276,6 +291,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
     faults.export_stats(cfg);
     pool.export_stats(cfg);
     observe_run(cfg, method, exec, cluster);
+    observe_spans(cfg, exec, tasks, cluster);
     return reduce(nn, tasks, exec, placement, nullptr);
   }
   // Opass: the matching-based guideline A*, consumed by the Section IV-D
@@ -327,6 +343,7 @@ RunOutput run_dynamic(const ExperimentConfig& cfg, std::uint32_t task_count, Met
   faults.export_stats(cfg);
   pool.export_stats(cfg);
   observe_run(cfg, method, exec, cluster);
+  observe_spans(cfg, exec, tasks, cluster);
   if (cfg.metrics != nullptr) obs::collect_dynamic(*cfg.metrics, source, "opass.dynamic");
   auto out = reduce(nn, tasks, exec, placement, &guideline);
   return out;
@@ -345,6 +362,7 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  ec.record_read_breakdown = cfg.spans != nullptr;
   PoolHarness pool(cfg);
   pool.arm(cluster, ec);
   // One timeline spans every rendering step; expected bytes grow per step.
@@ -386,6 +404,9 @@ ParaViewOutput run_paraview(const ExperimentConfig& cfg, Method method,
     runtime::StaticAssignmentSource source(assignment);
     auto exec = runtime::execute(cluster, nn, step_tasks, source, streams.exec, ec);
     out.step_times.push_back(exec.makespan - step_start);
+    // Spans append per step against the step's own (renumbered) task table;
+    // the aggregate's task ids would alias across steps.
+    observe_spans(cfg, exec, step_tasks, cluster);
     accumulate(agg, exec);
   }
 
@@ -433,6 +454,7 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
   sim::Cluster cluster(cfg.nodes, cfg.cluster);
   runtime::ExecutorConfig ec;
   ec.replica_choice = cfg.replica_choice;
+  ec.record_read_breakdown = cfg.spans != nullptr;
   pool.arm(cluster, ec);
   // One timeline spans every epoch; the same dataset is owed again each pass.
   obs::RunTimeline timeline(cfg.timeline, cluster,
@@ -446,6 +468,7 @@ IterativeOutput run_iterative(const ExperimentConfig& cfg, std::uint32_t chunk_c
     runtime::StaticAssignmentSource source(assignment);
     const auto exec = runtime::execute(cluster, nn, tasks, source, streams.exec, ec);
     out.epoch_times.push_back(exec.makespan - epoch_start);
+    observe_spans(cfg, exec, tasks, cluster);
     accumulate(agg, exec);
   }
   for (Seconds t : out.epoch_times) out.total_time += t;

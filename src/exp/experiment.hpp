@@ -19,6 +19,7 @@
 #include "dfs/replica_choice.hpp"
 #include "graph/max_flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/timeline.hpp"
 #include "opass/locality_graph.hpp"
 #include "runtime/executor.hpp"
@@ -75,6 +76,13 @@ struct ExperimentConfig {
   /// trace exporter (obs/chrome_trace.hpp) wants.
   obs::MetricsRegistry* metrics = nullptr;
   runtime::ExecutionResult* raw = nullptr;
+  /// When set, the run records every read's causal breakdown (admission
+  /// wait, positioning, binding-resource intervals — DESIGN.md §13) and
+  /// appends the execution's span log: task/read/wait spans with exact
+  /// attribution tilings, per step for ParaView and per epoch for the
+  /// iterative scenario. Observation only — the simulated schedule is
+  /// byte-identical with or without the sink.
+  obs::SpanLog* spans = nullptr;
   /// When set, the run streams time series into the recorder (per-node serve
   /// rate and in-flight reads, per-process queue depth, bytes remaining —
   /// see obs/timeline.hpp) and finish()es it at the run's end. One recorder

@@ -149,6 +149,7 @@ ServiceTraceOutput replay_service_trace(const ServiceTraceConfig& cfg,
   out.local_byte_fraction =
       total ? static_cast<double>(local) / static_cast<double>(total) : 0.0;
   out.rendered = rendered.str();
+  if (cfg.spans != nullptr) obs::append_service_spans(*cfg.spans, out.statuses);
   return out;
 }
 

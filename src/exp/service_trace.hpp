@@ -22,6 +22,7 @@
 #include "dfs/placement.hpp"
 #include "graph/max_flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/timeline.hpp"
 #include "opass/service.hpp"
 
@@ -61,6 +62,10 @@ struct ServiceTraceConfig {
   /// at the drain time.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TimelineRecorder* timeline = nullptr;
+  /// When set, the replay appends svc.job.queue / svc.job.plan spans for
+  /// every planned job (obs::append_service_spans) — queue-wait attribution
+  /// keyed by tenant.
+  obs::SpanLog* spans = nullptr;
 };
 
 /// Reduced outcome of one replay.

@@ -81,6 +81,21 @@ void ChromeTraceBuilder::add_instant(std::uint32_t pid, const std::string& name,
   events_.push_back(std::move(e));
 }
 
+void ChromeTraceBuilder::add_flow_step(std::uint32_t pid, std::uint32_t tid,
+                                       double ts_us, char ph, std::uint64_t flow_id) {
+  OPASS_REQUIRE(ph == 's' || ph == 'f', "flow event phase must be 's' or 'f'");
+  OPASS_REQUIRE(ts_us >= 0, "flow event before the epoch");
+  Event e;
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.ph = ph;
+  e.name = "critical_path";
+  e.cat = "critical_path";
+  e.flow_id = flow_id;
+  events_.push_back(std::move(e));
+}
+
 std::string ChromeTraceBuilder::json() const {
   std::vector<const Event*> order;
   order.reserve(events_.size());
@@ -127,6 +142,11 @@ std::string ChromeTraceBuilder::json() const {
               ", \"dur\": " + format_double(e->dur_us);
     } else if (e->ph == 'i') {
       line += ", \"ph\": \"i\", \"s\": \"g\", \"ts\": " + format_double(e->ts_us);
+    } else if (e->ph == 's' || e->ph == 'f') {
+      line += std::string(", \"ph\": \"") + e->ph + "\"";
+      if (e->ph == 'f') line += ", \"bp\": \"e\"";
+      line += ", \"id\": " + format_u64(e->flow_id) +
+              ", \"ts\": " + format_double(e->ts_us);
     } else {
       line += ", \"ph\": \"C\", \"ts\": " + format_double(e->ts_us);
     }

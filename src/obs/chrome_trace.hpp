@@ -52,6 +52,14 @@ class ChromeTraceBuilder {
   void add_instant(std::uint32_t pid, const std::string& name, double ts_us,
                    const char* category = "fault");
 
+  /// Append one flow event: `ph` is 's' (flow start, stamped at the source
+  /// span's end) or 'f' (flow finish, binding point "e", stamped at the
+  /// destination span's start); events with the same `flow_id` render as one
+  /// arrow in the viewer. Used by obs::add_critical_path_flows to draw the
+  /// critical path's cross-process hops over the task tracks.
+  void add_flow_step(std::uint32_t pid, std::uint32_t tid, double ts_us, char ph,
+                     std::uint64_t flow_id);
+
   /// Number of duration and counter events added so far (metadata not
   /// counted).
   std::size_t event_count() const { return events_.size(); }
@@ -69,10 +77,11 @@ class ChromeTraceBuilder {
     double dur_us = 0;  ///< duration in trace microseconds (>= 0; "X" only)
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
-    char ph = 'X';      ///< "X" duration, "C" counter, or "i" global instant
+    char ph = 'X';  ///< "X" duration, "C" counter, "i" instant, "s"/"f" flow
     std::string name;
     const char* cat = "";
-    std::string args_json;  ///< rendered {...} args object, may be empty
+    std::string args_json;   ///< rendered {...} args object, may be empty
+    std::uint64_t flow_id = 0;  ///< binding id for "s"/"f" events
   };
 
   std::vector<Event> events_;

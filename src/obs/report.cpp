@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics_io.hpp"
 
 namespace opass::obs {
@@ -179,6 +180,39 @@ std::string ReportBuilder::html() const {
              std::to_string(t.dropped_ticks()) + "</td></tr>\n";
     }
     out += "</table>\n";
+    if (m.spans != nullptr && !m.spans->empty()) {
+      // Bottleneck attribution: where the (top-level) span time went, per
+      // causal bucket and per blamed node — the DESIGN.md §13 breakdown.
+      const AttributionTotals totals = attribute_spans(*m.spans, m.node_count);
+      out += "<h3>bottleneck attribution</h3>\n<table>\n";
+      for (std::size_t k = 0; k < kAttrKindCount; ++k) {
+        if (totals.kind_ticks[k] == 0) continue;
+        const double share = totals.total_ticks > 0
+                                 ? static_cast<double>(totals.kind_ticks[k]) /
+                                       static_cast<double>(totals.total_ticks)
+                                 : 0.0;
+        out += std::string("<tr><td>") + attr_kind_name(static_cast<AttrKind>(k)) +
+               "</td><td>" +
+               format_double(static_cast<double>(totals.kind_ticks[k]) * 1e-9) +
+               " s</td><td>" + format_double(100.0 * share) + "%</td></tr>\n";
+      }
+      out += "</table>\n";
+      std::vector<std::size_t> nodes;
+      for (std::size_t n = 0; n < totals.node_ticks.size(); ++n)
+        if (totals.node_ticks[n] > 0) nodes.push_back(n);
+      std::stable_sort(nodes.begin(), nodes.end(), [&](std::size_t a, std::size_t b) {
+        return totals.node_ticks[a] > totals.node_ticks[b];
+      });
+      if (nodes.size() > 8) nodes.resize(8);
+      if (!nodes.empty()) {
+        out += "<h3>top blamed nodes</h3>\n<table>\n";
+        for (std::size_t n : nodes)
+          out += "<tr><td>node " + std::to_string(n) + "</td><td>" +
+                 format_double(static_cast<double>(totals.node_ticks[n]) * 1e-9) +
+                 " s</td></tr>\n";
+        out += "</table>\n";
+      }
+    }
     out += svg_chart("chart-" + m.name + "-serve-bytes",
                      "cluster serve rate (bytes/s)", t,
                      "timeline.cluster.serve_bytes_per_s");

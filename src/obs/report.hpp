@@ -21,6 +21,7 @@
 
 #include "obs/analytics.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/spans.hpp"
 #include "obs/timeline.hpp"
 
 namespace opass::obs {
@@ -34,6 +35,11 @@ struct MethodReport {
   ExecutionAnalytics analytics;
   Seconds makespan = 0;
   double local_fraction = 0;
+  /// Optional causal span log of the run (borrowed; must outlive the
+  /// builder). When set, the HTML gains a bottleneck-attribution section:
+  /// per-bucket time shares and the top blamed nodes (obs/attribution.hpp).
+  const SpanLog* spans = nullptr;
+  std::uint32_t node_count = 0;  ///< sizes the per-node attribution sums
 };
 
 /// Accumulates per-method runs and renders the two artifacts.

@@ -25,6 +25,8 @@ class Driver {
     replica_choice_ = config.replica_choice;
     prefetch_ = config.prefetch;
     bsp_ = config.barrier_per_task;
+    breakdown_ = config.record_read_breakdown;
+    if (breakdown_) cluster.record_read_breakdown(true);
     probe_ = config.probe;
     pool_ = config.pool;
     staged_ = pool_ != nullptr && pool_->thread_count() > 1 && !prefetch_ &&
@@ -418,6 +420,7 @@ class Driver {
     rec.reader_node = st.node;
     rec.serving_node = server;
     rec.chunk = cid;
+    rec.task = st.task;
     rec.bytes = info.size;
     rec.issue_time = cluster_.simulator().now();
     rec.local = server == st.node;
@@ -429,6 +432,7 @@ class Driver {
           bump_depth(p, -1);
           rec.end_time = end;
           result_.trace.add(rec);
+          if (breakdown_) result_.read_breakdowns.push_back(cluster_.last_read_breakdown());
           read_next_input(p);
         },
         [this, p, cid](Seconds) {
@@ -460,6 +464,7 @@ class Driver {
   dfs::ReplicaChoice replica_choice_ = dfs::ReplicaChoice::kRandom;
   bool prefetch_ = false;
   bool bsp_ = false;
+  bool breakdown_ = false;  ///< copy per-read causal breakdowns into the result
   bool staged_ = false;  ///< pool with >1 lane + concurrent-pull-safe source
   ExecutorProbe* probe_ = nullptr;
   ThreadPool* pool_ = nullptr;

@@ -44,6 +44,11 @@ struct ExecutionResult {
   std::vector<Seconds> process_finish_time;  ///< per-process drain time
   /// Per-task (pull → compute-done) intervals, in compute-completion order.
   std::vector<TaskSpan> task_spans;
+  /// Causal breakdown of each completed read, index-aligned with
+  /// trace.records() (empty unless ExecutorConfig::record_read_breakdown).
+  /// Kept out of ReadRecord so the breakdown's per-interval storage is only
+  /// paid when causal tracing is on.
+  std::vector<sim::ReadBreakdown> read_breakdowns;
   /// Per-process seconds spent waiting at BSP per-task barriers (all zero
   /// unless ExecutorConfig::barrier_per_task). The implicit final barrier is
   /// not included — it is `makespan - process_finish_time[p]`.
@@ -86,6 +91,12 @@ struct ExecutorConfig {
   /// prolongs the whole execution; it makes the imbalance penalty visible
   /// in its purest form. Mutually exclusive with prefetch.
   bool barrier_per_task = false;
+  /// Record each read's causal breakdown (admission wait, positioning,
+  /// binding-resource transfer intervals) into
+  /// ExecutionResult::read_breakdowns for the obs span log. Enables the
+  /// cluster's breakdown recording for the duration of the run; observation
+  /// only — the simulated schedule is byte-identical either way.
+  bool record_read_breakdown = false;
   /// Optional queue-depth probe (borrowed; must outlive the run). Null = no
   /// stamping, zero overhead.
   ExecutorProbe* probe = nullptr;

@@ -22,19 +22,35 @@ Cluster::Cluster(const dfs::Topology& topology, ClusterParams params)
     nic_in_.push_back(sim_.add_resource(params_.nic_bandwidth));
     nic_out_.push_back(sim_.add_resource(params_.nic_bandwidth));
     rack_of_node_.push_back(topology.rack_of(n));
+    resource_info_.push_back({ResourceRole::kDisk, n});
+    resource_info_.push_back({ResourceRole::kNicIn, n});
+    resource_info_.push_back({ResourceRole::kNicOut, n});
   }
   if (params_.rack_uplink_bandwidth > 0) {
     for (dfs::RackId r = 0; r < topology.rack_count(); ++r) {
       rack_up_.push_back(sim_.add_resource(params_.rack_uplink_bandwidth));
       rack_down_.push_back(sim_.add_resource(params_.rack_uplink_bandwidth));
+      resource_info_.push_back({ResourceRole::kRackUp, r});
+      resource_info_.push_back({ResourceRole::kRackDown, r});
     }
   }
+}
+
+ResourceInfo Cluster::resource_info(ResourceId r) const {
+  OPASS_REQUIRE(r < resource_info_.size(), "resource out of range");
+  return resource_info_[r];
+}
+
+void Cluster::record_read_breakdown(bool on) {
+  record_breakdown_ = on;
+  sim_.record_attribution(on);
 }
 
 void Cluster::degrade_node(dfs::NodeId node, double factor) {
   OPASS_REQUIRE(node < node_count_, "node out of range");
   OPASS_REQUIRE(factor > 0 && factor <= 1.0, "speed factor must be in (0, 1]");
   speed_[node] = factor;
+  speed_changes_.push_back({to_ticks(sim_.now()), node, factor});
   sim_.set_resource_capacity(disk_[node], params_.disk_bandwidth * factor);
   sim_.set_resource_capacity(nic_in_[node], params_.nic_bandwidth * factor);
   sim_.set_resource_capacity(nic_out_[node], params_.nic_bandwidth * factor);
@@ -54,6 +70,9 @@ dfs::NodeId Cluster::add_node(dfs::RackId rack) {
   disk_.push_back(sim_.add_resource(params_.disk_bandwidth, params_.disk_beta));
   nic_in_.push_back(sim_.add_resource(params_.nic_bandwidth));
   nic_out_.push_back(sim_.add_resource(params_.nic_bandwidth));
+  resource_info_.push_back({ResourceRole::kDisk, id});
+  resource_info_.push_back({ResourceRole::kNicIn, id});
+  resource_info_.push_back({ResourceRole::kNicOut, id});
   rack_of_node_.push_back(rack);
   inflight_.push_back(0);
   served_.push_back(0);
@@ -158,6 +177,7 @@ void Cluster::start_read(dfs::NodeId reader, dfs::NodeId server, Bytes bytes, bo
   op.admitted = false;
   op.transferring = false;
   op.copy = copy;
+  op.issue_ticks = to_ticks(sim_.now());
   op.on_complete = std::move(on_complete);
   op.on_failure = std::move(on_failure);
   const ReadId id = (static_cast<ReadId>(op.tag) << 32) | slot;
@@ -193,6 +213,7 @@ void Cluster::admit(ReadId id) {
   OPASS_CHECK(op.active && op.tag == static_cast<std::uint32_t>(id >> 32),
               "admitted read missing from the active set");
   op.admitted = true;
+  op.admit_ticks = to_ticks(sim_.now());
   ++serving_[op.server];
 
   const bool local = op.reader == op.server;
@@ -221,6 +242,7 @@ void Cluster::admit(ReadId id) {
     }
     const BytesPerSec cap = read.reader == read.server ? 0.0 : params_.remote_stream_cap;
     read.transferring = true;
+    read.transfer_start_ticks = to_ticks(sim_.now());
     read.flow = sim_.start_flow(std::move(path), read.bytes,
                               [this, id](Seconds end) {
                                 const std::uint32_t cslot = static_cast<std::uint32_t>(id);
@@ -234,6 +256,17 @@ void Cluster::admit(ReadId id) {
                                 served_[done.server] += done.bytes;
                                 const dfs::NodeId server = done.server;
                                 const Bytes bytes = done.bytes;
+                                if (record_breakdown_) {
+                                  last_breakdown_.issue_ticks = done.issue_ticks;
+                                  last_breakdown_.admit_ticks = done.admit_ticks;
+                                  last_breakdown_.transfer_start_ticks =
+                                      done.transfer_start_ticks;
+                                  last_breakdown_.end_ticks = to_ticks(end);
+                                  const auto* attr = sim_.completed_attribution(done.flow);
+                                  last_breakdown_.transfer =
+                                      attr != nullptr ? *attr
+                                                      : std::vector<BindingInterval>{};
+                                }
                                 auto cb = std::move(done.on_complete);
                                 retire_read(cslot);
                                 release_serve_slot(server);

@@ -46,6 +46,47 @@ struct ClusterParams {
   std::uint32_t max_concurrent_serves = 0;
 };
 
+/// What role a FlowSimulator resource plays in the cluster's hardware model.
+/// The obs layer uses this to classify binding-resource intervals into the
+/// paper's causal buckets (source disk / source NIC / dest NIC / uplink).
+enum class ResourceRole : std::uint8_t {
+  kDisk,
+  kNicIn,
+  kNicOut,
+  kRackUp,
+  kRackDown,
+};
+
+/// Role and owner of one simulator resource: `owner` is a NodeId for
+/// disk/NIC roles and a RackId for uplink roles.
+struct ResourceInfo {
+  ResourceRole role = ResourceRole::kDisk;
+  std::uint32_t owner = 0;
+};
+
+/// One speed-factor change (degrade_node / restore_node), in event order.
+/// Lets post-hoc consumers decide whether a node was degraded at a given
+/// virtual tick without keeping a per-tick speed series.
+struct SpeedChange {
+  std::int64_t ticks = 0;  ///< to_ticks(virtual time) of the change
+  dfs::NodeId node = 0;
+  double factor = 1.0;
+};
+
+/// Causal breakdown of one completed read (record_read_breakdown): the
+/// admission-queue wait, the positioning phase and the transfer phase as
+/// integer virtual-time ticks, plus the transfer's binding-resource
+/// intervals. Boundaries chain (issue <= admit <= transfer_start <= end and
+/// the intervals tile [transfer_start, end]), so phase durations sum exactly
+/// to the read's span.
+struct ReadBreakdown {
+  std::int64_t issue_ticks = 0;           ///< request issued (queue entry)
+  std::int64_t admit_ticks = 0;           ///< past the admission gate
+  std::int64_t transfer_start_ticks = 0;  ///< positioning done, flow started
+  std::int64_t end_ticks = 0;             ///< last byte arrived
+  std::vector<BindingInterval> transfer;  ///< tiles [transfer_start, end]
+};
+
 /// Read-lifecycle observer. The cluster stays metric-blind (DESIGN.md §8):
 /// it only reports state transitions; translating them into time series is
 /// the obs layer's job (obs::ClusterTimelineProbe). Callbacks fire *after*
@@ -198,6 +239,29 @@ class Cluster {
   /// outlive the cluster or be detached first. At most one at a time.
   void set_probe(ClusterProbe* probe) { probe_ = probe; }
 
+  // --- causal tracing (obs/spans) ------------------------------------------
+
+  /// Role and owner of a simulator resource this cluster created.
+  ResourceInfo resource_info(ResourceId r) const;
+
+  /// Every degrade/restore event so far, in application order (to_ticks
+  /// timestamps). Consumers replay it to decide whether a binding resource's
+  /// owner was running slow during an interval.
+  const std::vector<SpeedChange>& speed_changes() const { return speed_changes_; }
+
+  /// Opt in to per-read causal breakdowns: each completed read's phase
+  /// boundaries and binding-resource intervals become available to its
+  /// completion callback via last_read_breakdown(). Enables the simulator's
+  /// attribution recording; off by default (observation only — the simulated
+  /// schedule is unchanged).
+  void record_read_breakdown(bool on);
+  bool read_breakdown_recording() const { return record_breakdown_; }
+
+  /// Breakdown of the read whose on_complete is currently being invoked;
+  /// valid only inside that callback and only while recording. The returned
+  /// reference is overwritten by the next completion.
+  const ReadBreakdown& last_read_breakdown() const { return last_breakdown_; }
+
  private:
   /// Internal read handle: low 32 bits address a reusable slot in
   /// `read_pool_`, high 32 bits carry the generation tag that makes handles
@@ -214,6 +278,9 @@ class Cluster {
     bool transferring = false;  // false while in the positioning phase
     bool copy = false;          // replicate(): destination disk joins the path
     FlowId flow = 0;            // valid when transferring
+    std::int64_t issue_ticks = 0;   // phase boundaries (record_read_breakdown)
+    std::int64_t admit_ticks = 0;
+    std::int64_t transfer_start_ticks = 0;
     std::function<void(Seconds)> on_complete;
     std::function<void(Seconds)> on_failure;
   };
@@ -244,6 +311,10 @@ class Cluster {
   std::vector<std::deque<ReadId>> waiting_;        // admission FIFO per node
   std::vector<std::uint64_t> admission_waits_;     // reads ever queued, per node
   std::vector<std::uint32_t> peak_queue_;          // max FIFO depth, per node
+  std::vector<ResourceInfo> resource_info_;        // indexed by ResourceId
+  std::vector<SpeedChange> speed_changes_;
+  bool record_breakdown_ = false;
+  ReadBreakdown last_breakdown_;  // of the read completing right now
 };
 
 }  // namespace opass::sim

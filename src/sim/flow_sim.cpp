@@ -80,8 +80,50 @@ void FlowSimulator::commit_progress(Flow& f) {
   }
 }
 
-void FlowSimulator::set_rate(std::uint32_t slot, double rate) {
+/// Record that `f`'s rate is pinned by `binding` from now on. Same-binding
+/// re-levels keep the open interval; a change closes it at the current tick
+/// and opens a new one. Multiple re-levels within one instant leave at most
+/// one interval (zero-width predecessors are superseded in place, possibly
+/// reopening an earlier same-binding interval whose stale end is rewritten
+/// on the next close). Boundaries chain exactly, so durations telescope to
+/// the flow's transfer time in integer math.
+void FlowSimulator::note_binding(Flow& f, ResourceId binding) {
+  const std::int64_t t = to_ticks(now_);
+  while (!f.attr.empty()) {
+    BindingInterval& last = f.attr.back();
+    if (last.resource == binding) return;  // unchanged (or reopened) — stay open
+    if (last.start_ticks >= t) {
+      f.attr.pop_back();  // zero-width: superseded within the same instant
+      continue;
+    }
+    last.end_ticks = t;  // close the open interval at the change point
+    break;
+  }
+  f.attr.push_back({t, t, binding});
+}
+
+/// Close a completing flow's open interval at the completion tick and move
+/// its history into the per-event stash for the completion callback to read.
+void FlowSimulator::stash_attribution(std::uint32_t slot) {
   Flow& f = flows_[slot];
+  const std::int64_t t = to_ticks(now_);
+  while (!f.attr.empty() && f.attr.back().start_ticks >= t) f.attr.pop_back();
+  if (!f.attr.empty()) f.attr.back().end_ticks = t;
+  const FlowId id = (static_cast<FlowId>(static_cast<std::uint32_t>(f.seq)) << 32) | slot;
+  finished_attr_.emplace_back(id, std::move(f.attr));
+}
+
+const std::vector<BindingInterval>* FlowSimulator::completed_attribution(FlowId id) const {
+  for (const auto& [fid, intervals] : finished_attr_)
+    if (fid == id) return &intervals;
+  return nullptr;
+}
+
+void FlowSimulator::set_rate(std::uint32_t slot, double rate, ResourceId binding) {
+  Flow& f = flows_[slot];
+  // The binding can move between resources of equal fair share without the
+  // rate changing, so note it before the unchanged-rate early return.
+  if (record_attr_) note_binding(f, binding);
   if (f.rate == rate) return;  // unchanged — the queued ETA stays valid
   commit_progress(f);
   f.anchor_time = now_;
@@ -177,6 +219,7 @@ void FlowSimulator::retire_slot(std::uint32_t slot) {
   f.on_complete = nullptr;
   ++f.epoch;
   std::vector<ResourceId>().swap(f.resources);  // release storage on retirement
+  std::vector<BindingInterval>().swap(f.attr);
   --flows_active_;
   free_slots_.push_back(slot);
 #if defined(OPASS_SANITIZE_BUILD)
@@ -190,7 +233,8 @@ void FlowSimulator::retire_slot(std::uint32_t slot) {
 /// per retirement — far too slow for benchmarking, invaluable under ASan.
 void FlowSimulator::audit_retired_slot(std::uint32_t slot) const {
   const Flow& f = flows_[slot];
-  OPASS_CHECK(!f.active && f.resources.capacity() == 0 && !f.on_complete,
+  OPASS_CHECK(!f.active && f.resources.capacity() == 0 && !f.on_complete &&
+                  f.attr.capacity() == 0,
               "retired flow slot still holds state");
   for (const Resource& res : resources_)
     for (std::uint32_t s : res.flows)
@@ -267,7 +311,9 @@ void FlowSimulator::recompute_rates() {
   // binds.
   water_fill(comp_resources_.data(), comp_resources_.size(), comp_flows_.data(),
              comp_flows_.size(), share_heap_, cap_heap_,
-             [this](std::uint32_t slot, double share) { set_rate(slot, share); });
+             [this](std::uint32_t slot, double share, ResourceId binding) {
+               set_rate(slot, share, binding);
+             });
 }
 
 /// Water-filling with per-flow caps, restricted to the given component span:
@@ -275,9 +321,11 @@ void FlowSimulator::recompute_rates() {
 /// binding level is the minimum over (a) each active resource's fair share
 /// and (b) each unfixed flow's own rate cap; all flows pinned by the binding
 /// constraint freeze at that level and release the rest of their resources'
-/// capacity. `sink(slot, share)` receives every pin in binding order — the
-/// serial path commits immediately via set_rate, the parallel path stages the
-/// pair for the ordered commit phase.
+/// capacity. `sink(slot, share, binding)` receives every pin in binding order
+/// — `binding` names the constraint that froze the flow (the bottleneck
+/// resource, or kCapBinding when its own rate cap bound). The serial path
+/// commits immediately via set_rate, the parallel path stages the triple for
+/// the ordered commit phase.
 ///
 /// Both minima come from lazily invalidated min-heaps instead of per-round
 /// scans, making a full re-level O(incidences * log) instead of
@@ -320,10 +368,10 @@ void FlowSimulator::water_fill(const std::uint32_t* comp_res, std::size_t res_co
 
   // Freeze a flow's rate at the binding share and release the headroom on
   // every resource it crosses, re-queuing their updated fair shares.
-  const auto pin = [&](std::uint32_t slot, double share) {
+  const auto pin = [&](std::uint32_t slot, double share, ResourceId binding) {
     Flow& f = flows_[slot];
     f.fixed = visit_stamp_;
-    sink(slot, share);
+    sink(slot, share, binding);
     for (ResourceId r : f.resources) {
       Resource& res = resources_[r];
       res.remaining = std::max(0.0, res.remaining - share);
@@ -380,14 +428,14 @@ void FlowSimulator::water_fill(const std::uint32_t* comp_res, std::size_t res_co
         std::pop_heap(cap_heap.begin(), cap_heap.end(), std::greater<>{});
         cap_heap.pop_back();
         if (flows_[top.slot].fixed == visit_stamp_) continue;
-        pin(top.slot, best_share);
+        pin(top.slot, best_share, kCapBinding);
         --flows_left;
       }
     } else {
       // Freeze every unfixed flow crossing the bottleneck resource.
       for (std::uint32_t slot : resources_[best_r].flows) {
         if (flows_[slot].fixed == visit_stamp_) continue;
-        pin(slot, best_share);
+        pin(slot, best_share, best_r);
         --flows_left;
       }
     }
@@ -474,8 +522,18 @@ void FlowSimulator::recompute_rates_parallel() {
   // chunk index owns one scratch slot.
   pinned_.resize(comp_flows_.size());
   if (wf_scratch_.size() < pool_->thread_count()) wf_scratch_.resize(pool_->thread_count());
-  pool_->parallel_for_chunks(
-      comp_spans_.size(), /*min_per_chunk=*/1,
+  // Size-aware split: water-fill cost scales with a component's flow count,
+  // and component sizes are heavily skewed (one big contended component among
+  // many singletons), so chunk by total flow weight rather than component
+  // count. The boundaries are a pure function of the component shapes —
+  // byte-identical output for every thread count, same as the equal split.
+  comp_weights_.clear();
+  comp_weights_.reserve(comp_spans_.size());
+  for (const CompSpan& span : comp_spans_)
+    comp_weights_.push_back(
+        static_cast<std::uint64_t>(span.flow_end - span.flow_begin) + 1);
+  pool_->parallel_weighted_for_chunks(
+      comp_weights_, /*min_weight_per_chunk=*/1,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         WfScratch& scratch = wf_scratch_[chunk];
         for (std::size_t c = begin; c < end; ++c) {
@@ -484,8 +542,8 @@ void FlowSimulator::recompute_rates_parallel() {
           water_fill(comp_resources_.data() + span.res_begin, span.res_end - span.res_begin,
                      comp_flows_.data() + span.flow_begin, span.flow_end - span.flow_begin,
                      scratch.share_heap, scratch.cap_heap,
-                     [&](std::uint32_t slot, double share) {
-                       pinned_[fill++] = {slot, share};
+                     [&](std::uint32_t slot, double share, ResourceId binding) {
+                       pinned_[fill++] = {slot, share, binding};
                      });
           OPASS_CHECK(fill == span.flow_end,
                       "parallel re-level pinned a component incompletely");
@@ -493,7 +551,7 @@ void FlowSimulator::recompute_rates_parallel() {
       });
 
   // Ordered commit: ascending component id, binding order within a component.
-  for (const PinnedRate& p : pinned_) set_rate(p.slot, p.share);
+  for (const PinnedRate& p : pinned_) set_rate(p.slot, p.share, p.binding);
 }
 
 void FlowSimulator::advance_to(Seconds t) {
@@ -540,6 +598,10 @@ double FlowSimulator::next_completion_time() {
 
 Seconds FlowSimulator::run() {
   for (;;) {
+    // Last step's completion attributions expire: completed_attribution() is
+    // a within-callback accessor, not a history store.
+    if (!finished_attr_.empty()) finished_attr_.clear();
+
     if (!dirty_resources_.empty()) recompute_rates();
 
     const double next_completion = next_completion_time();
@@ -600,6 +662,7 @@ Seconds FlowSimulator::run() {
       // lands in bytes_served exactly once (telescoping, no per-event drift).
       if (f.bytes_anchor > 0)
         for (ResourceId r : f.resources) resources_[r].bytes_served += f.bytes_anchor;
+      if (record_attr_) stash_attribution(slot);
       if (f.on_complete) callbacks_.push_back(std::move(f.on_complete));
       retire_slot(slot);
     }

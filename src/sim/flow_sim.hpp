@@ -25,6 +25,7 @@
 // time is O(1) instead of O(active flows).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -43,6 +44,28 @@ using ResourceId = std::uint32_t;
 /// Opaque flow handle: low 32 bits address a reusable flow slot, high 32 bits
 /// carry the creation tag that makes handles to retired flows inert.
 using FlowId = std::uint64_t;
+
+/// Attribution time base: virtual seconds quantized to integer nanoseconds.
+/// All causal-tracing arithmetic (obs/spans) happens on these ticks so
+/// interval durations sum *exactly* — chained boundaries telescope in int64
+/// with no floating-point drift. Deterministic because the underlying doubles
+/// are byte-identical across runs and thread counts (DESIGN.md §12).
+inline std::int64_t to_ticks(Seconds t) { return std::llround(t * 1e9); }
+
+/// One binding-resource interval of a flow: over [start_ticks, end_ticks)
+/// the flow's max-min rate was pinned by `resource` (the bottleneck whose
+/// fair share it was frozen at), or by the flow's own rate cap when
+/// `resource == kCapBinding`. Consecutive intervals chain (each close is the
+/// next open), so their durations sum exactly to the flow's transfer time.
+struct BindingInterval {
+  std::int64_t start_ticks = 0;
+  std::int64_t end_ticks = 0;
+  ResourceId resource = 0;
+};
+
+/// Sentinel binding for "the flow's own rate_cap binds" (single-stream
+/// protocol limit), distinguishable from any real ResourceId.
+inline constexpr ResourceId kCapBinding = 0xffffffffu;
 
 /// Max-min fair flow-level simulator.
 class FlowSimulator {
@@ -95,6 +118,23 @@ class FlowSimulator {
 
   /// True while the flow is still transferring.
   bool flow_active(FlowId id) const;
+
+  /// Opt in to binding-resource attribution: every re-level appends to each
+  /// touched flow's interval list which constraint pinned its rate (the
+  /// bottleneck resource, or kCapBinding when its own rate cap bound). Off by
+  /// default — recording costs memory per active flow and must never perturb
+  /// the simulation (it only observes the pin sequence, which is already
+  /// byte-deterministic).
+  void record_attribution(bool on) { record_attr_ = on; }
+  bool attribution_recording() const { return record_attr_; }
+
+  /// Binding intervals of a flow that completed at the current event step;
+  /// valid only inside its completion callback (the stash is dropped before
+  /// the next event is processed). Returns nullptr when the id is unknown,
+  /// the flow was cancelled, or recording is off. The intervals chain from
+  /// the flow's start tick to its completion tick; zero-byte flows have an
+  /// empty list (start == end).
+  const std::vector<BindingInterval>* completed_attribution(FlowId id) const;
 
   /// Run until no flows or timers remain. Returns the final virtual time.
   Seconds run();
@@ -183,6 +223,9 @@ class FlowSimulator {
     bool active = false;
     std::uint64_t visit = 0;   // component-BFS stamp
     std::uint64_t fixed = 0;   // == visit stamp once pinned in this re-level
+    // Binding-interval history (record_attribution only). The last entry is
+    // the open interval; its end_ticks is stale until the next close.
+    std::vector<BindingInterval> attr;
   };
 
   struct Timer {
@@ -236,11 +279,12 @@ class FlowSimulator {
   };
 
   /// A rate pinned by water-filling but not yet committed: the parallel path
-  /// stages (slot, share) per component, then commits through set_rate() in
-  /// ascending component order.
+  /// stages (slot, share, binding) per component, then commits through
+  /// set_rate() in ascending component order.
   struct PinnedRate {
     std::uint32_t slot;
     double share;
+    ResourceId binding;
   };
 
   /// Per-chunk water-filling scratch for the parallel path (the serial path
@@ -257,7 +301,9 @@ class FlowSimulator {
   void mark_dirty(ResourceId r);
   void push_eta(std::uint32_t slot);
   void commit_progress(Flow& f);
-  void set_rate(std::uint32_t slot, double rate);
+  void note_binding(Flow& f, ResourceId binding);
+  void stash_attribution(std::uint32_t slot);
+  void set_rate(std::uint32_t slot, double rate, ResourceId binding);
   template <typename PinSink>
   void water_fill(const std::uint32_t* comp_res, std::size_t res_count,
                   const std::uint32_t* comp_flows, std::size_t flow_count,
@@ -290,11 +336,19 @@ class FlowSimulator {
   std::vector<CapEntry> cap_heap_;
   ThreadPool* pool_ = nullptr;  // borrowed; nullptr = serial re-leveling
   std::vector<CompSpan> comp_spans_;
+  std::vector<std::uint64_t> comp_weights_;  // per-component flow weights
   std::vector<PinnedRate> pinned_;
   std::vector<WfScratch> wf_scratch_;
   std::vector<Eta> requeued_;
   std::vector<std::uint32_t> completed_;
   std::vector<std::function<void(Seconds)>> callbacks_;
+
+  // Attribution recording (record_attribution). finished_attr_ stashes the
+  // interval lists of the flows completing at the current event step, keyed
+  // by their full FlowId, for completion callbacks to pick up; it is dropped
+  // before the next event is processed.
+  bool record_attr_ = false;
+  std::vector<std::pair<FlowId, std::vector<BindingInterval>>> finished_attr_;
 
   std::uint64_t rate_recomputes_ = 0;
   std::uint64_t rate_recompute_touched_ = 0;

@@ -30,6 +30,10 @@ struct ReadRecord {
   dfs::NodeId reader_node = 0;    ///< node the process runs on
   dfs::NodeId serving_node = 0;   ///< node that served the data
   dfs::ChunkId chunk = 0;         ///< chunk that was read
+  /// Task the read fed (runtime::TaskId; UINT32_MAX when the issuer is not
+  /// task-structured). Lets the causal span log nest reads under their task
+  /// without guessing from time windows (which prefetch overlap would break).
+  std::uint32_t task = 0xffffffffu;
   Bytes bytes = 0;                ///< payload size of the read
   Seconds issue_time = 0;         ///< when the request was issued
   Seconds end_time = 0;           ///< when the last byte arrived

@@ -1,0 +1,137 @@
+// Size-aware weighted chunking: weighted_chunk_bounds is a pure function of
+// (weights, max_chunks) — purity, shape invariants, the equal-count fallback
+// and the big-number path are pinned here — and parallel_weighted_for_chunks
+// produces serially-equal results for every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace opass {
+namespace {
+
+// Every valid bound vector starts at 0, ends at weights.size(), is strictly
+// increasing (no empty ranges), and has at most max_chunks ranges.
+void check_shape(const std::vector<std::size_t>& bounds,
+                 std::size_t count, std::size_t max_chunks) {
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), count);
+  EXPECT_LE(bounds.size() - 1, std::max<std::size_t>(max_chunks, 1));
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(WeightedChunkBounds, EmptyInputYieldsTheTrivialPartition) {
+  EXPECT_EQ(weighted_chunk_bounds({}, 4), (std::vector<std::size_t>{0}));
+}
+
+TEST(WeightedChunkBounds, SingleChunkCoversEverything) {
+  EXPECT_EQ(weighted_chunk_bounds({5, 1, 9}, 1), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(WeightedChunkBounds, ZeroMaxChunksClampsToOne) {
+  EXPECT_EQ(weighted_chunk_bounds({5, 1, 9}, 0), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(WeightedChunkBounds, BalancesSkewedWeights) {
+  // One giant item among singletons: the giant gets its own range instead of
+  // dragging half the tail with it (the failure mode of equal-count splits).
+  const std::vector<std::uint64_t> weights = {100, 1, 1, 1, 1, 1, 1, 1};
+  const auto bounds = weighted_chunk_bounds(weights, 4);
+  check_shape(bounds, weights.size(), 4);
+  EXPECT_EQ(bounds[1], 1u);  // first cut right after the giant
+}
+
+TEST(WeightedChunkBounds, ZeroTotalWeightFallsBackToEqualCounts) {
+  const std::vector<std::uint64_t> weights(8, 0);
+  const auto bounds = weighted_chunk_bounds(weights, 4);
+  EXPECT_EQ(bounds, (std::vector<std::size_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(WeightedChunkBounds, MoreChunksThanItemsClampsToItemCount) {
+  const auto bounds = weighted_chunk_bounds({3, 3, 3}, 16);
+  EXPECT_EQ(bounds, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(WeightedChunkBounds, HugeWeightsDoNotOverflow) {
+  // prefix * chunks would overflow u64; the crossing test must survive it.
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max() / 4;
+  const std::vector<std::uint64_t> weights = {big, big, big, big};
+  const auto bounds = weighted_chunk_bounds(weights, 4);
+  EXPECT_EQ(bounds, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WeightedChunkBounds, IsAPureFunctionOfItsInputs) {
+  const std::vector<std::uint64_t> weights = {7, 3, 0, 12, 1, 1, 4, 9, 2, 2};
+  const auto a = weighted_chunk_bounds(weights, 3);
+  const auto b = weighted_chunk_bounds(weights, 3);
+  EXPECT_EQ(a, b);
+  check_shape(a, weights.size(), 3);
+}
+
+TEST(WeightedChunkBounds, EveryBudgetProducesAValidPartition) {
+  const std::vector<std::uint64_t> weights = {1, 50, 1, 1, 30, 1, 1, 1, 20, 1};
+  for (std::size_t k = 1; k <= weights.size() + 2; ++k)
+    check_shape(weighted_chunk_bounds(weights, k), weights.size(), k);
+}
+
+TEST(WeightedParallelFor, CoversTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::vector<std::uint64_t> weights = {9, 1, 1, 1, 7, 1, 1, 1};
+  std::vector<std::atomic<int>> hits(weights.size());
+  pool.parallel_weighted_for_chunks(weights, 1,
+                                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                                      for (std::size_t i = begin; i < end; ++i)
+                                        hits[i].fetch_add(1);
+                                    });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WeightedParallelFor, EmptyWeightsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_weighted_for_chunks({}, 1, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(WeightedParallelFor, MinWeightLimitsTheSplit) {
+  ThreadPool pool(4);
+  // Total weight 8 with grain 8 -> one inline chunk despite 4 lanes.
+  const std::vector<std::uint64_t> weights = {2, 2, 2, 2};
+  std::size_t calls = 0;
+  pool.parallel_weighted_for_chunks(weights, 8,
+                                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                                      ++calls;
+                                      EXPECT_EQ(begin, 0u);
+                                      EXPECT_EQ(end, weights.size());
+                                    });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(WeightedParallelFor, ResultsMatchSerialForEveryThreadCount) {
+  const std::vector<std::uint64_t> weights = {13, 1, 1, 40, 2, 2, 2, 5, 5, 5, 1, 1};
+  // Per-item results land in distinct slots, so the gather is order-free and
+  // the comparison is exact for any partition.
+  const auto run = [&](std::uint32_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(weights.size(), 0);
+    pool.parallel_weighted_for_chunks(weights, 1,
+                                      [&](std::size_t begin, std::size_t end, std::size_t c) {
+                                        for (std::size_t i = begin; i < end; ++i)
+                                          out[i] = weights[i] * 3 + c * 0;
+                                      });
+    return out;
+  };
+  const auto serial = run(1);
+  for (std::uint32_t t : {2u, 3u, 4u, 8u}) EXPECT_EQ(run(t), serial) << t << " threads";
+}
+
+}  // namespace
+}  // namespace opass

@@ -125,6 +125,121 @@ TEST(TimelineRecorder, RingWrapKeepsTheNewestTicks) {
   EXPECT_EQ(t.series_values(id), (std::vector<double>{6, 7, 8, 10}));
 }
 
+TEST(TimelineRecorder, ZeroLengthRunRestampsTickZero) {
+  // A run that starts and ends at t = 0: the lone boundary is restamped with
+  // the end state instead of the never-emitted "next interval" swallowing it.
+  TimelineRecorder t(options(1.0));
+  const auto level = t.add_level_series("timeline.test.depth", /*initial=*/1);
+  const auto rate = t.add_rate_series("timeline.test.bytes_per_s");
+  t.record_level(level, 0.0, 5);
+  t.record_rate(rate, 0.0, 4);
+  t.finish(0.0);
+  EXPECT_EQ(t.tick_count(), 1u);
+  EXPECT_EQ(t.partial_duration(), 0.0);
+  EXPECT_EQ(t.series_values(level), (std::vector<double>{5}));
+  EXPECT_EQ(t.series_values(rate), (std::vector<double>{4}));
+}
+
+TEST(TimelineRecorder, RestampFoldsInIntervalAndOnBoundaryMassTogether) {
+  // Rate mass lands both strictly inside the final interval (2.4) and
+  // exactly on the end boundary (3.0); the restamp must fold both into the
+  // final sample — neither may leak into a phantom interval 4.
+  TimelineRecorder t(options(1.0));
+  const auto id = t.add_rate_series("timeline.test.bytes_per_s");
+  t.record_rate(id, 2.4, 7);
+  t.record_rate(id, 3.0, 3);
+  t.finish(3.0);
+  EXPECT_EQ(t.partial_duration(), 0.0);
+  EXPECT_EQ(t.series_values(id), (std::vector<double>{0, 0, 0, 10}));
+}
+
+TEST(TimelineRecorder, PartialWindowCarriesOnEndEvents) {
+  // Events stamped exactly at a mid-interval end belong to the partial
+  // window, scaled by its true duration (0.25 s here -> 5 / 0.25 = 20/s).
+  TimelineRecorder t(options(1.0));
+  const auto rate = t.add_rate_series("timeline.test.bytes_per_s");
+  const auto level = t.add_level_series("timeline.test.depth");
+  t.record_rate(rate, 1.25, 5);
+  t.record_level(level, 1.25, 9);
+  t.finish(1.25);
+  EXPECT_DOUBLE_EQ(t.partial_duration(), 0.25);
+  EXPECT_EQ(t.series_values(rate), (std::vector<double>{0, 0, 20}));
+  EXPECT_EQ(t.series_values(level), (std::vector<double>{0, 0, 9}));
+}
+
+sim::FaultEvent crash_at(Seconds at, dfs::NodeId node) {
+  sim::FaultEvent ev;
+  ev.at = at;
+  ev.kind = sim::FaultKind::kCrash;
+  ev.node = node;
+  return ev;
+}
+
+TEST(TimelineFaults, CrashRunFinishesWithAConsistentWindowShape) {
+  // A mid-run crash + recovery must still leave the recorder in a coherent
+  // end state: flushed at the makespan, with every series carrying exactly
+  // tick_count retained boundaries plus at most one partial sample.
+  TimelineRecorder recorder(options(0.5));
+  exp::ExperimentConfig cfg;
+  cfg.nodes = 16;
+  cfg.seed = 42;
+  cfg.timeline = &recorder;
+  sim::FaultPlan plan;
+  plan.events.push_back(crash_at(2.0, 5));
+  sim::FaultStats stats;
+  cfg.faults = &plan;
+  cfg.fault_stats = &stats;
+  const auto out = exp::run_single_data(cfg, /*chunk_count=*/80, exp::Method::kOpass);
+
+  ASSERT_EQ(stats.crashes, 1u);
+  ASSERT_TRUE(recorder.finished());
+  // Recovery traffic (the victim's re-replication copies) keeps the cluster
+  // clock running past the job's makespan; the recorder is flushed at the
+  // cluster end, so the crash's background tail is part of the window.
+  EXPECT_GE(recorder.end_time(), out.makespan);
+  EXPECT_GE(recorder.partial_duration(), 0.0);
+  EXPECT_LT(recorder.partial_duration(), recorder.interval());
+  const std::size_t expected =
+      static_cast<std::size_t>(recorder.tick_count() - recorder.first_retained_tick()) +
+      (recorder.partial_duration() > 0 ? 1 : 0);
+  for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+    EXPECT_EQ(recorder.series_values(s).size(), expected) << recorder.series_name(s);
+
+  const auto find = [&](const char* name) {
+    TimelineRecorder::SeriesId id = UINT32_MAX;
+    for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+      if (recorder.series_name(s) == name) id = s;
+    EXPECT_NE(id, UINT32_MAX) << name;
+    return id;
+  };
+  // The reassigned work still drains: no reads stay in flight at the end.
+  EXPECT_EQ(recorder.series_values(find("timeline.cluster.inflight")).back(), 0.0);
+  // Re-replication reads were never announced via add_expected_bytes, so the
+  // bytes_remaining level ends exactly `rereplicated_bytes` below zero — the
+  // recovery traffic is visible, byte for byte, in the timeline.
+  EXPECT_EQ(recorder.series_values(find("timeline.cluster.bytes_remaining")).back(),
+            -static_cast<double>(stats.rereplicated_bytes));
+}
+
+TEST(TimelineFaults, CrashReplaysRecordByteIdenticalSeries) {
+  const auto run = [] {
+    TimelineRecorder recorder(options(0.5));
+    exp::ExperimentConfig cfg;
+    cfg.nodes = 16;
+    cfg.seed = 42;
+    cfg.timeline = &recorder;
+    sim::FaultPlan plan;
+    plan.events.push_back(crash_at(2.0, 5));
+    cfg.faults = &plan;
+    exp::run_single_data(cfg, /*chunk_count=*/80, exp::Method::kOpass);
+    std::vector<std::vector<double>> all;
+    for (TimelineRecorder::SeriesId s = 0; s < recorder.series_count(); ++s)
+      all.push_back(recorder.series_values(s));
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(TimelineProbes, RecordAFullRunEndToEnd) {
   TimelineRecorder recorder(options(0.5));
   exp::ExperimentConfig cfg;

@@ -111,6 +111,13 @@ PLAIN_STATUS_STRUCT = re.compile(r"\bstruct\s+(\w+Status)\b")
 TIMELINE_LITERAL = re.compile(r'"(timeline\.[^"\n]*)"')
 TIMELINE_FULL_NAME = re.compile(r"timeline\.[a-z0-9_]+(?:\.[a-z0-9_]+)+")
 TIMELINE_PREFIX = re.compile(r"timeline\.(?:[a-z0-9_]+\.)*")
+# Any string literal whose content starts with a span-layer prefix ("exec."
+# or "svc.") — candidates for the span-name taxonomy check. The compliant
+# shape is checked against the literal's content afterwards: exactly three
+# dot-separated segments (layer.noun.verb), each [a-z][a-z0-9_]* — mirroring
+# obs::valid_span_name, which SpanLog::add enforces at runtime.
+SPAN_LITERAL = re.compile(r'"((?:exec|svc)\.[^"\n]*)"')
+SPAN_FULL_NAME = re.compile(r"(?:exec|svc)\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*")
 # A direct call of a per-planner entry point: `assign_single_data(...)`,
 # optionally `core::`-qualified. The facade spelling `core::plan(...)` does
 # not match; prose mentions live in comments, which scrub() blanks out.
@@ -235,6 +242,18 @@ def check_timeline_metric_name(path: pathlib.Path, text: str, findings: list):
                     "splice prefix ending in '.')"))
 
 
+def check_span_name(path: pathlib.Path, text: str, findings: list):
+    for m in SPAN_LITERAL.finditer(scrub(text, keep_strings=True)):
+        name = m.group(1)
+        if SPAN_FULL_NAME.fullmatch(name):
+            continue
+        findings.append(
+            Finding(path, _line_of(text, m.start()), "span-name",
+                    f'"{name}" breaks the layer.noun.verb span taxonomy '
+                    "(exactly 3 dot-separated [a-z][a-z0-9_]* segments; "
+                    "SpanLog::add rejects it at runtime too)"))
+
+
 def check_pq_top_copy(path: pathlib.Path, text: str, findings: list):
     for m in PQ_TOP_COPY.finditer(scrub(text)):
         findings.append(
@@ -303,6 +322,7 @@ def lint_tree(root: pathlib.Path) -> list:
         check_nodiscard_plan(path, src_root, text, findings)
         check_nodiscard_status(path, src_root, text, findings)
         check_timeline_metric_name(path, text, findings)
+        check_span_name(path, text, findings)
         check_pq_top_copy(path, text, findings)
         check_no_raw_thread(path, root, text, findings)
         check_facade_only(path, root, text, findings)
@@ -349,6 +369,14 @@ _VIOLATIONS = {
         "#include <string>\n"
         "// Two segments only, and uppercase — both break the taxonomy.\n"
         "const std::string kBad = \"timeline.ServeBytes\";\n",
+    ),
+    "span-name": (
+        "obs/bad_span_name.cpp",
+        "#include <string>\n"
+        "// Two segments only, and a capitalized noun — both break the\n"
+        "// layer.noun.verb taxonomy.\n"
+        "const std::string kBadShort = \"exec.task\";\n"
+        "const std::string kBadCase = \"svc.Job.queue\";\n",
     ),
     "facade-only": (
         "runtime/bad_direct_plan.cpp",
@@ -404,6 +432,19 @@ _CLEANS = (
         "std::string per_node(int n) {\n"
         "  return \"timeline.cluster.node.\" + std::to_string(n);\n"
         "}\n",
+    ),
+    (
+        # Compliant span-name spellings span-name must NOT flag: the five
+        # taxonomy names SpanLog::add accepts (exactly three [a-z][a-z0-9_]*
+        # segments). A literal like "executive.summary" has no exec./svc.
+        # prefix, so it is out of the rule's scope by construction.
+        "obs/clean_span_name.cpp",
+        "#include <string>\n"
+        "const std::string kTask = \"exec.task.run\";\n"
+        "const std::string kRead = \"exec.read.serve\";\n"
+        "const std::string kWait = \"exec.wave.wait\";\n"
+        "const std::string kQueue = \"svc.job.queue\";\n"
+        "const std::string kPlan = \"svc.job.plan\";\n",
     ),
     (
         # src/opass/ internals may call the per-planner entry points directly

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Explain a makespan regression as a bottleneck-attribution delta.
+
+Usage:
+    tools/span_diff.py BASELINE.json CURRENT.json [--method NAME]
+
+Both inputs are span documents written by `opass_cli --spans-out=...`
+(schema 1: per-method span logs with integer-tick attribution sums that
+reconcile bit-exactly with the span durations — DESIGN.md §13). For every
+method present in both documents the tool prints the makespan delta, the
+per-bucket attribution deltas and the per-node blame deltas, and names the
+**regressed resource**: the causal bucket whose attributed time grew the
+most. Because the sums are exact integers, the deltas are exact too — no
+tolerance thresholds, no noise floor.
+
+Output is deterministic (sorted by delta magnitude, ties by bucket/node
+order) so it can be golden-tested; the `cli_span_diff` ctest entry runs it
+on the two checked-in fixtures under bench/spans/ and checks that the
+injected slow-node regression is blamed on the right bucket.
+
+Exit codes: 0 = compared fine (regressions are reported, not failed on),
+2 = bad input (unreadable, wrong schema, no common methods).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TICKS_PER_SECOND = 1_000_000_000
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"error: cannot read span document {path}: {e}")
+    if doc.get("schema") != 1:
+        raise SystemExit(f"error: {path}: unsupported schema {doc.get('schema')!r}")
+    if doc.get("ticks_per_second") != TICKS_PER_SECOND:
+        raise SystemExit(
+            f"error: {path}: unexpected ticks_per_second {doc.get('ticks_per_second')!r}"
+        )
+    return doc
+
+
+def methods_by_name(doc: dict) -> dict:
+    return {m["name"]: m for m in doc.get("methods", [])}
+
+
+def seconds(ticks: int) -> str:
+    return f"{ticks / TICKS_PER_SECOND:+.9f}"
+
+
+def diff_method(name: str, base: dict, cur: dict) -> None:
+    d_makespan = cur["makespan_ticks"] - base["makespan_ticks"]
+    print(f"method {name}: makespan {seconds(d_makespan)} s ({d_makespan:+d} ticks)")
+
+    base_kinds = base["attribution"]["kinds"]
+    cur_kinds = cur["attribution"]["kinds"]
+    deltas = []
+    for kind in cur_kinds:  # document order is the fixed AttrKind order
+        d = cur_kinds.get(kind, 0) - base_kinds.get(kind, 0)
+        if d != 0:
+            deltas.append((kind, d))
+    if deltas:
+        regressed = max(deltas, key=lambda kd: kd[1])
+        if regressed[1] > 0:
+            print(f"  regressed resource: {regressed[0]} ({seconds(regressed[1])} s)")
+        print("  attribution deltas:")
+        for kind, d in sorted(deltas, key=lambda kd: -abs(kd[1])):
+            print(f"    {kind} {seconds(d)} s")
+    else:
+        print("  attribution deltas: none")
+
+    base_nodes = {int(k): v for k, v in base["attribution"]["nodes"].items()}
+    cur_nodes = {int(k): v for k, v in cur["attribution"]["nodes"].items()}
+    node_deltas = []
+    for node in sorted(set(base_nodes) | set(cur_nodes)):
+        d = cur_nodes.get(node, 0) - base_nodes.get(node, 0)
+        if d != 0:
+            node_deltas.append((node, d))
+    if node_deltas:
+        print("  node blame deltas:")
+        for node, d in sorted(node_deltas, key=lambda nd: (-abs(nd[1]), nd[0]))[:8]:
+            print(f"    node {node} {seconds(d)} s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="span JSON of the reference run")
+    parser.add_argument("current", help="span JSON of the run under test")
+    parser.add_argument("--method", help="compare only this method")
+    args = parser.parse_args()
+
+    base = methods_by_name(load(args.baseline))
+    cur = methods_by_name(load(args.current))
+    names = [n for n in cur if n in base]
+    if args.method is not None:
+        names = [n for n in names if n == args.method]
+    if not names:
+        print("error: no common methods to compare", file=sys.stderr)
+        return 2
+    for name in names:
+        diff_method(name, base[name], cur[name])
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `span_diff.py ... | head`
+        sys.exit(0)
